@@ -1,0 +1,121 @@
+// Command checkdist measures checksum-value distributions over a
+// corpus: the Figure 2 PDF/CDF series, the Figure 3 algorithm
+// comparison and the Table 4/5 congruence probabilities.
+//
+// Usage:
+//
+//	checkdist -profile smeg.stanford.edu:/u1 -fig2
+//	checkdist -dir /usr/share -table5
+//	checkdist -profile sics.se:/opt -k 2      # one histogram summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"realsum/internal/corpus"
+	"realsum/internal/experiments"
+	"realsum/internal/report"
+	"realsum/internal/sim"
+	"realsum/internal/stats"
+)
+
+func main() {
+	profile := flag.String("profile", "smeg.stanford.edu:/u1", "synthetic site profile name")
+	dir := flag.String("dir", "", "scan a real directory instead of a profile")
+	scale := flag.Float64("scale", 1.0, "profile scale factor")
+	census := flag.Bool("census", false, "byte-level census (zero fraction, entropy) of the corpus")
+	fig2 := flag.Bool("fig2", false, "emit the Figure 2 series (profile-based only)")
+	fig3 := flag.Bool("fig3", false, "emit the Figure 3 series (profile-based only)")
+	table4 := flag.Bool("table4", false, "emit Table 4 (profile-based only)")
+	table5 := flag.Bool("table5", false, "emit Table 5 (profile-based only)")
+	k := flag.Int("k", 1, "block size in cells for the summary histogram")
+	window := flag.Int("window", 512, "locality window in bytes")
+	flag.Parse()
+
+	cfg := experiments.Config{Scale: *scale}
+	switch {
+	case *fig2:
+		fmt.Print(experiments.Figure2Report(experiments.Figure2(cfg)))
+		return
+	case *fig3:
+		fmt.Print(experiments.Figure3Report(experiments.Figure3(cfg)))
+		return
+	case *table4:
+		fmt.Print(experiments.Table4Report(experiments.Table4(cfg)))
+		return
+	case *table5:
+		fmt.Print(experiments.Table5Report(experiments.Table5(cfg)))
+		return
+	}
+
+	// Summary mode over a profile or directory.
+	var w corpus.Walker
+	var name string
+	if *dir != "" {
+		w, name = corpus.DirWalker(*dir), *dir
+	} else {
+		p, ok := corpus.ByName(*profile)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "checkdist: unknown profile %q\n", *profile)
+			os.Exit(2)
+		}
+		w, name = p.Scale(*scale).Build(), p.Name
+	}
+	if *census {
+		var counts [256]uint64
+		var files int
+		err := w.Walk(func(path string, data []byte) error {
+			files++
+			for _, b := range data {
+				counts[b]++
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checkdist: %v\n", err)
+			os.Exit(1)
+		}
+		var total uint64
+		var topB int
+		for b, c := range counts {
+			total += c
+			if c > counts[topB] {
+				topB = b
+			}
+		}
+		fmt.Printf("corpus: %s\n", name)
+		fmt.Printf("files:        %d\n", files)
+		fmt.Printf("bytes:        %s\n", report.Count(total))
+		fmt.Printf("zero bytes:   %s\n", report.Percent(float64(counts[0x00])/float64(total)))
+		fmt.Printf("0xFF bytes:   %s\n", report.Percent(float64(counts[0xFF])/float64(total)))
+		fmt.Printf("top byte:     %#02x (%s)\n", topB, report.Percent(float64(counts[topB])/float64(total)))
+		fmt.Printf("entropy:      %.2f bits/byte\n", stats.ShannonEntropy(counts[:]))
+		return
+	}
+
+	g, err := sim.CollectGlobal(w, *k)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "checkdist: %v\n", err)
+		os.Exit(1)
+	}
+	loc, err := sim.CollectLocal(w, *k, *window)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "checkdist: %v\n", err)
+		os.Exit(1)
+	}
+	h := g.Histogram()
+	v, p := h.PMax()
+	fmt.Printf("corpus: %s (k = %d cells)\n", name, *k)
+	fmt.Printf("blocks sampled:        %s\n", report.Count(g.Blocks()))
+	fmt.Printf("distinct sums:         %s\n", report.Count(uint64(h.Distinct())))
+	fmt.Printf("most common sum:       %#04x (p = %s)\n", v, report.Percent(p))
+	fmt.Printf("top-65 mass:           %s\n", report.Percent(h.TopShare(65)))
+	fmt.Printf("global congruence:     %s (uniform: %s)\n",
+		report.Percent(g.CongruentProbability()), report.Percent(1.0/65535))
+	fmt.Printf("identical blocks:      %s\n", report.Percent(g.IdenticalProbability()))
+	fmt.Printf("local congruence:      %s over %s pairs (window %d)\n",
+		report.Percent(loc.CongruentP()), report.Count(loc.Pairs), *window)
+	fmt.Printf("local excl. identical: %s\n", report.Percent(loc.ExcludeIdenticalP()))
+}

@@ -1,0 +1,103 @@
+// Command paper regenerates every table and figure in the paper's
+// evaluation over the synthetic corpora, printing each in the paper's
+// layout.
+//
+// Usage:
+//
+//	paper [-scale 1.0] [-run table1,figure2,...]
+//
+// With no -run flag every experiment runs in paper order.  The -scale
+// flag multiplies the corpus sizes (1.0 ≈ a few MB per file system; the
+// paper's originals were GBs — scale up if you have the minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"realsum/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "corpus scale factor")
+	run := flag.String("run", "", "comma-separated experiments (default: all): table1..table10, figure2, figure3, effectivebits, ablations, pathological")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	flag.Parse()
+
+	names := []string{
+		"table1", "table2", "table3", "figure2", "figure3", "table4",
+		"table5", "table6", "table7", "table8", "table9", "table10",
+		"effectivebits", "ablations", "pathological", "endtoend", "adler", "census", "locality", "fragswap",
+	}
+	if *list {
+		fmt.Println(strings.Join(names, "\n"))
+		return
+	}
+
+	want := map[string]bool{}
+	if *run == "" {
+		for _, n := range names {
+			want[n] = true
+		}
+	} else {
+		for _, n := range strings.Split(*run, ",") {
+			want[strings.TrimSpace(strings.ToLower(n))] = true
+		}
+	}
+
+	cfg := experiments.Config{Scale: *scale}
+	step := func(name string, fn func() string) {
+		if !want[name] {
+			return
+		}
+		start := time.Now()
+		out := fn()
+		fmt.Println(out)
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	// Tables 1–3 and the effective-bits computation share one big run.
+	var t123 = func() []interface{} { return nil }
+	_ = t123
+	needT123 := want["table1"] || want["table2"] || want["table3"] || want["effectivebits"]
+	if needT123 {
+		start := time.Now()
+		results := experiments.Tables123(cfg)
+		fmt.Fprintf(os.Stderr, "[tables 1-3 simulation done in %v]\n", time.Since(start).Round(time.Millisecond))
+		if want["table1"] {
+			fmt.Println(experiments.Table1Report(results))
+		}
+		if want["table2"] {
+			fmt.Println(experiments.Table2Report(results))
+		}
+		if want["table3"] {
+			fmt.Println(experiments.Table3Report(results))
+		}
+		if want["effectivebits"] {
+			fmt.Println(experiments.EffectiveBitsReport(experiments.EffectiveBits(results)))
+		}
+	}
+
+	step("figure2", func() string { return experiments.Figure2Report(experiments.Figure2(cfg)) })
+	step("figure3", func() string { return experiments.Figure3Report(experiments.Figure3(cfg)) })
+	step("table4", func() string { return experiments.Table4Report(experiments.Table4(cfg)) })
+	step("table5", func() string { return experiments.Table5Report(experiments.Table5(cfg)) })
+	step("table6", func() string { return experiments.Table6Report(experiments.Table6(cfg)) })
+	step("table7", func() string {
+		plain, comp := experiments.Table7(cfg)
+		return experiments.Table7Report(plain, comp)
+	})
+	step("table8", func() string { return experiments.Table8Report(experiments.Table8(cfg)) })
+	step("table9", func() string { return experiments.Table9Report(experiments.Table9(cfg)) })
+	step("table10", func() string { return experiments.Table10Report(experiments.Table10(cfg)) })
+	step("ablations", func() string { return experiments.AblationsReport(experiments.Ablations(cfg)) })
+	step("pathological", func() string { return experiments.PathologicalReport(experiments.Pathological(cfg)) })
+	step("endtoend", func() string { return experiments.EndToEndReport(experiments.EndToEnd(cfg)) })
+	step("adler", func() string { return experiments.AdlerReport(experiments.AdlerComparison(cfg)) })
+	step("census", func() string { return experiments.DataCensusReport(experiments.DataCensus(cfg)) })
+	step("locality", func() string { return experiments.LocalityReport(experiments.Locality(cfg)) })
+	step("fragswap", func() string { return experiments.FragSwapReport(experiments.FragSwap(cfg)) })
+}

@@ -1,0 +1,99 @@
+// Command splicesim runs the packet-splice simulation (§3.2 of the
+// paper) over a synthetic site profile or a real directory tree and
+// prints the Tables 1–3-style classification.
+//
+// Usage:
+//
+//	splicesim -profile sics.se:/opt [-alg tcp|f255|f256]
+//	          [-placement header|trailer] [-compress] [-nocrc]
+//	          [-segment 256] [-scale 1.0]
+//	splicesim -dir /some/path
+//	splicesim -profiles           # list known profiles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"realsum/internal/corpus"
+	"realsum/internal/report"
+	"realsum/internal/sim"
+	"realsum/internal/tcpip"
+)
+
+func main() {
+	profile := flag.String("profile", "", "synthetic site profile name (see -profiles)")
+	dir := flag.String("dir", "", "scan a real directory instead of a profile")
+	alg := flag.String("alg", "tcp", "checksum algorithm: tcp, f255, f256")
+	placement := flag.String("placement", "header", "checksum placement: header, trailer")
+	compress := flag.Bool("compress", false, "LZW-compress every file first (Table 7)")
+	nocrc := flag.Bool("nocrc", false, "skip the AAL5 CRC check (faster)")
+	noinvert := flag.Bool("noinvert", false, "store the raw sum instead of its complement (§6.3)")
+	zeroip := flag.Bool("zeroip", false, "reproduce the §6.2 zeroed-IP-header artifact")
+	segment := flag.Int("segment", sim.DefaultSegmentSize, "TCP payload bytes per packet")
+	scale := flag.Float64("scale", 1.0, "profile scale factor")
+	listProfiles := flag.Bool("profiles", false, "list known profiles and exit")
+	flag.Parse()
+
+	if *listProfiles {
+		for _, p := range corpus.AllProfiles() {
+			fmt.Println(p.Name)
+		}
+		return
+	}
+
+	opt := sim.Options{
+		SegmentSize: *segment,
+		CheckCRC:    !*nocrc,
+		Compress:    *compress,
+	}
+	switch *alg {
+	case "tcp":
+		opt.Build.Alg = tcpip.AlgTCP
+	case "f255":
+		opt.Build.Alg = tcpip.AlgFletcher255
+	case "f256":
+		opt.Build.Alg = tcpip.AlgFletcher256
+	default:
+		fatal("unknown -alg %q", *alg)
+	}
+	switch *placement {
+	case "header":
+	case "trailer":
+		opt.Build.Placement = tcpip.PlacementTrailer
+	default:
+		fatal("unknown -placement %q", *placement)
+	}
+	opt.Build.NoInvert = *noinvert
+	opt.Build.ZeroIPHeader = *zeroip
+
+	var w corpus.Walker
+	var name string
+	switch {
+	case *dir != "":
+		w, name = corpus.DirWalker(*dir), *dir
+	case *profile != "":
+		p, ok := corpus.ByName(*profile)
+		if !ok {
+			fatal("unknown profile %q (try -profiles)", *profile)
+		}
+		w, name = p.Scale(*scale).Build(), p.Name
+	default:
+		fatal("one of -profile or -dir is required")
+	}
+
+	res, err := sim.Run(w, name, opt)
+	if err != nil {
+		fatal("simulation failed: %v", err)
+	}
+	fmt.Print(report.SpliceTable([]sim.Result{res}, opt.Build.Alg.String()))
+	fmt.Printf("\n(%d files, %s packets, %s bytes, checksum=%v placement=%v compress=%v)\n",
+		res.Files, report.Count(res.Packets), report.Count(res.Bytes),
+		opt.Build.Alg, opt.Build.Placement, *compress)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "splicesim: "+format+"\n", args...)
+	os.Exit(2)
+}

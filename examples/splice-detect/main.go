@@ -1,0 +1,72 @@
+// splice-detect walks through the paper's core scenario by hand: build
+// two adjacent TCP/IP packets, segment them into AAL5 cells, enumerate
+// every packet splice, and show which layers of checking — AAL5
+// framing, TCP/IP header syntax, the AAL5 CRC-32 and the TCP checksum —
+// catch the damage.
+package main
+
+import (
+	"fmt"
+
+	"realsum/internal/atm"
+	"realsum/internal/splice"
+	"realsum/internal/tcpip"
+)
+
+func main() {
+	// Two adjacent 160-byte segments of a simulated FTP transfer,
+	// carrying zero-heavy "profiling data"-style payloads (§5.5), which
+	// maximize checksum-congruent cells.
+	payload := func(seed byte) []byte {
+		p := make([]byte, 160)
+		for i := 0; i < len(p); i += 32 {
+			p[i+1] = 1 // sparse identical counters
+		}
+		p[5] = seed
+		return p
+	}
+	flow := tcpip.NewLoopbackFlow(tcpip.BuildOptions{})
+	p1 := flow.NextPacket(nil, payload(0))
+	p2 := flow.NextPacket(nil, payload(0))
+
+	cells1, _ := atm.Segment(p1, 0, 32)
+	cells2, _ := atm.Segment(p2, 0, 32)
+	fmt.Printf("packet 1: %d bytes -> %d cells\n", len(p1), len(cells1))
+	fmt.Printf("packet 2: %d bytes -> %d cells\n\n", len(p2), len(cells2))
+
+	// Build the Figure-1 splice by hand: keep packet 1's header cell
+	// and a middle cell, then jump to packet 2's cells.
+	handSplice := []atm.Cell{cells1[0], cells1[2], cells2[2], cells2[3], cells2[len(cells2)-1]}
+	if _, err := atm.CheckFraming(handSplice); err != nil {
+		fmt.Printf("hand-built splice rejected by AAL5 framing: %v\n", err)
+	} else if _, err := atm.Reassemble(handSplice); err != nil {
+		fmt.Printf("hand-built splice passed framing, caught by: %v\n", err)
+	} else {
+		fmt.Println("hand-built splice reassembled cleanly — up to TCP to catch it!")
+	}
+
+	// Now the exhaustive enumeration the paper runs: every possible
+	// splice of this adjacent pair, classified.
+	cfg := splice.Config{Opts: tcpip.BuildOptions{}, CheckCRC: true}
+	c := splice.EnumeratePair(p1, p2, cfg)
+	fmt.Printf("\nexhaustive enumeration of the pair:\n")
+	fmt.Printf("  candidate splices:    %d\n", c.Total)
+	fmt.Printf("  caught by header:     %d\n", c.CaughtByHeader)
+	fmt.Printf("  identical data:       %d (benign)\n", c.Identical)
+	fmt.Printf("  remaining (corrupt):  %d\n", c.Remaining)
+	fmt.Printf("  missed by AAL5 CRC:   %d\n", c.MissedByCRC)
+	fmt.Printf("  missed by TCP sum:    %d\n", c.MissedByChecksum)
+
+	// The same pair under a trailer checksum (§5.3): the checksum no
+	// longer shares a cell with the header it covers.
+	tcfg := splice.Config{
+		Opts: tcpip.BuildOptions{Placement: tcpip.PlacementTrailer},
+	}
+	tflow := tcpip.NewLoopbackFlow(tcfg.Opts)
+	tp1 := tflow.NextPacket(nil, payload(0))
+	tp2 := tflow.NextPacket(nil, payload(0))
+	tc := splice.EnumeratePair(tp1, tp2, tcfg)
+	fmt.Printf("\nsame pair, trailer checksum:\n")
+	fmt.Printf("  missed by checksum:   %d (header mode: %d)\n", tc.MissedByChecksum, c.MissedByChecksum)
+	fmt.Printf("  identical rejected:   %d (spurious but harmless, §5.3)\n", tc.IdenticalFailedChecksum)
+}

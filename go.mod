@@ -1,0 +1,3 @@
+module realsum
+
+go 1.24

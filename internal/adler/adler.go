@@ -1,0 +1,115 @@
+// Package adler implements Adler-32 from scratch — the direct modern
+// descendant of the Fletcher checksums the paper studies.  Adler-32
+// keeps Fletcher's two running sums but works modulo 65521 (the largest
+// prime below 2^16) over 16-bit accumulators, trading a little speed
+// for the prime modulus.  Mark Adler chose the prime specifically to
+// avoid the composite-modulus weaknesses this paper documents for
+// Fletcher mod 255 (the two zeros) and mod 256; the package exists so
+// the benchmark suite can extend Table 8 with the "what came after"
+// column.
+//
+// The implementation is verified bit-for-bit against the standard
+// library's hash/adler32 in the tests.
+package adler
+
+// Mod is the Adler-32 modulus: the largest prime below 2^16.
+const Mod = 65521
+
+// nmax is the largest n such that 255·n·(n+1)/2 + (n+1)·(Mod−1) fits a
+// uint32 — the classic zlib reduction bound.
+const nmax = 5552
+
+// Checksum returns the Adler-32 of data: B<<16 | A with A seeded to 1.
+func Checksum(data []byte) uint32 {
+	a, b := uint32(1), uint32(0)
+	for len(data) > 0 {
+		chunk := data
+		if len(chunk) > nmax {
+			chunk = chunk[:nmax]
+		}
+		data = data[len(chunk):]
+		for _, d := range chunk {
+			a += uint32(d)
+			b += a
+		}
+		a %= Mod
+		b %= Mod
+	}
+	return b<<16 | a
+}
+
+// Pair is the decomposed Adler state, for positional composition in
+// the style of fletcher.Pair.
+type Pair struct {
+	A uint32 // byte sum + 1, mod 65521
+	B uint32 // position-weighted sum, mod 65521
+}
+
+// Checksum32 packs the pair into the standard Adler-32 value.
+func (p Pair) Checksum32() uint32 { return p.B<<16 | p.A }
+
+// Sum computes the pair over data.
+func Sum(data []byte) Pair {
+	ck := Checksum(data)
+	return Pair{A: ck & 0xFFFF, B: ck >> 16}
+}
+
+// Combine returns the Adler-32 of the concatenation of two buffers
+// given their checksums and the length of the second — the same
+// positional algebra as fletcher.Mod.Append.  Extending the first
+// buffer by len2 bytes advances its B by len2·A; the second buffer's
+// own seed (the +1 in A and its positional images in B) is then
+// subtracted out once:
+//
+//	A = a1 + a2 − 1
+//	B = b1 + rem·a1 + b2 − rem            (rem = len2 mod 65521)
+func Combine(ck1, ck2 uint32, len2 int) uint32 {
+	const mod = uint64(Mod)
+	rem := uint64(len2) % mod
+	a1 := uint64(ck1 & 0xFFFF)
+	b1 := uint64(ck1 >> 16)
+	a2 := uint64(ck2 & 0xFFFF)
+	b2 := uint64(ck2 >> 16)
+	a := (a1 + a2 + mod - 1) % mod
+	b := (b1 + rem*a1%mod + b2 + mod - rem) % mod
+	return uint32(b)<<16 | uint32(a)
+}
+
+// Digest is a streaming Adler-32 accumulator.
+type Digest struct {
+	a, b uint32
+	n    int
+}
+
+// New returns a streaming digest.
+func New() *Digest { return &Digest{a: 1} }
+
+// Reset restores the initial state.
+func (d *Digest) Reset() { d.a, d.b, d.n = 1, 0, 0 }
+
+// Write absorbs data; it never fails.
+func (d *Digest) Write(data []byte) (int, error) {
+	a, b := d.a, d.b
+	for len(data) > 0 {
+		chunk := data
+		if len(chunk) > nmax {
+			chunk = chunk[:nmax]
+		}
+		data = data[len(chunk):]
+		for _, v := range chunk {
+			a += uint32(v)
+			b += a
+		}
+		a %= Mod
+		b %= Mod
+		d.n += len(chunk)
+	}
+	d.a, d.b = a, b
+	return d.n, nil
+}
+
+// Sum32 returns the Adler-32 of everything written.
+func (d *Digest) Sum32() uint32 { return d.b<<16 | d.a }
+
+// Len returns the number of bytes written.
+func (d *Digest) Len() int { return d.n }

@@ -1,0 +1,62 @@
+package atm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSegmentReassemble checks the round-trip invariant for arbitrary
+// SDUs: Segment always produces a framing-valid cell sequence whose
+// Reassemble returns the exact input.  Run with `go test -fuzz
+// FuzzSegmentReassemble ./internal/atm` to explore; the seed corpus
+// runs in normal test mode.
+func FuzzSegmentReassemble(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add(bytes.Repeat([]byte{0xFF}, 40))
+	f.Add(bytes.Repeat([]byte{0xA5}, 48))
+	f.Add(bytes.Repeat([]byte{1, 2, 3}, 100))
+	f.Add(make([]byte, 296))
+	f.Fuzz(func(t *testing.T, sdu []byte) {
+		if len(sdu) > MaxSDU {
+			sdu = sdu[:MaxSDU]
+		}
+		cells, err := Segment(sdu, 3, 77)
+		if err != nil {
+			t.Fatalf("Segment: %v", err)
+		}
+		if len(cells) != CellCount(len(sdu)) {
+			t.Fatalf("cell count %d, want %d", len(cells), CellCount(len(sdu)))
+		}
+		out, err := Reassemble(cells)
+		if err != nil {
+			t.Fatalf("Reassemble: %v", err)
+		}
+		if !bytes.Equal(out, sdu) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+// FuzzHeaderDecode checks that any 5 bytes either fail the HEC or
+// round-trip exactly.
+func FuzzHeaderDecode(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0x55})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < HeaderSize {
+			return
+		}
+		var h Header
+		if err := h.DecodeFromBytes(raw); err != nil {
+			return // HEC rejected it; fine
+		}
+		var out [HeaderSize]byte
+		if err := h.SerializeTo(out[:]); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out[:], raw[:HeaderSize]) {
+			t.Fatalf("decode/encode mismatch: %x -> %+v -> %x", raw[:5], h, out)
+		}
+	})
+}

@@ -1,0 +1,456 @@
+package corpus
+
+import (
+	"bytes"
+	"compress/lzw"
+	"fmt"
+	"math/rand/v2"
+)
+
+// A generator produces size bytes of one file population.  Generators
+// may return slightly more or fewer bytes than asked when the format has
+// natural record boundaries; Build treats Size as a target.
+type generator func(rng *rand.Rand, size int) []byte
+
+// generators maps each FileType to its generator.  Indexed by FileType.
+var generators = [numFileTypes]generator{
+	EnglishText:   genEnglishText,
+	CSource:       genCSource,
+	Executable:    genExecutable,
+	PBMImage:      genPBMImage,
+	PSHexBitmap:   genPSHexBitmap,
+	BinHex:        genBinHex,
+	GmonOut:       genGmonOut,
+	WordProcessor: genWordProcessor,
+	Compressed:    genCompressed,
+	LogFile:       genLogFile,
+	UniformRandom: genUniformRandom,
+}
+
+func genUniformRandom(rng *rand.Rand, size int) []byte {
+	out := make([]byte, size)
+	i := 0
+	for ; i+8 <= size; i += 8 {
+		v := rng.Uint64()
+		out[i], out[i+1], out[i+2], out[i+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		out[i+4], out[i+5], out[i+6], out[i+7] = byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56)
+	}
+	for ; i < size; i++ {
+		out[i] = byte(rng.Uint32())
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// English prose.
+
+// wordPool is a frequency-ranked pool of common English words.  Sampling
+// it Zipf-style yields text whose byte histogram matches English prose:
+// 'e' and space dominate, values above 0x7F never occur.
+var wordPool = []string{
+	"the", "of", "and", "a", "to", "in", "is", "you", "that", "it",
+	"he", "was", "for", "on", "are", "as", "with", "his", "they", "I",
+	"at", "be", "this", "have", "from", "or", "one", "had", "by", "word",
+	"but", "not", "what", "all", "were", "we", "when", "your", "can", "said",
+	"there", "use", "an", "each", "which", "she", "do", "how", "their", "if",
+	"will", "up", "other", "about", "out", "many", "then", "them", "these", "so",
+	"some", "her", "would", "make", "like", "him", "into", "time", "has", "look",
+	"two", "more", "write", "go", "see", "number", "no", "way", "could", "people",
+	"my", "than", "first", "water", "been", "call", "who", "oil", "its", "now",
+	"find", "long", "down", "day", "did", "get", "come", "made", "may", "part",
+	"over", "new", "sound", "take", "only", "little", "work", "know", "place", "year",
+	"live", "me", "back", "give", "most", "very", "after", "thing", "our", "just",
+	"name", "good", "sentence", "man", "think", "say", "great", "where", "help", "through",
+	"much", "before", "line", "right", "too", "mean", "old", "any", "same", "tell",
+	"boy", "follow", "came", "want", "show", "also", "around", "form", "three", "small",
+	"network", "protocol", "checksum", "packet", "system", "file", "data", "transfer", "error", "value",
+}
+
+// zipfIndex draws an index into a pool of n items with a Zipf-ish
+// (1/(k+q)) profile, concentrating on low ranks.
+func zipfIndex(rng *rand.Rand, n int) int {
+	// Rejectionless approximation: square a uniform to skew low.
+	u := rng.Float64()
+	return int(u * u * float64(n))
+}
+
+func genEnglishText(rng *rand.Rand, size int) []byte {
+	out := make([]byte, 0, size+16)
+	col := 0
+	sentence := 0
+	for len(out) < size {
+		w := wordPool[zipfIndex(rng, len(wordPool))]
+		if sentence == 0 && len(w) > 0 {
+			w = string(w[0]-'a'+'A') + w[1:]
+		}
+		if col+len(w)+1 > 72 {
+			out = append(out, '\n')
+			col = 0
+		} else if col > 0 {
+			out = append(out, ' ')
+			col++
+		}
+		out = append(out, w...)
+		col += len(w)
+		sentence++
+		if sentence > 4+rng.IntN(14) {
+			out = append(out, '.')
+			col++
+			sentence = 0
+			if rng.IntN(4) == 0 {
+				out = append(out, '\n', '\n')
+				col = 0
+			}
+		}
+	}
+	return out[:size]
+}
+
+// ---------------------------------------------------------------------
+// C source code.
+
+var cIdents = []string{
+	"buf", "len", "i", "j", "n", "p", "q", "ret", "err", "fd",
+	"count", "size", "offset", "ptr", "head", "tail", "next", "prev", "node", "tmp",
+	"sum", "cksum", "crc", "data", "packet", "cell", "hdr", "flags", "state", "ctx",
+}
+
+var cTypes = []string{"int", "char", "long", "void", "size_t", "u_int32_t", "u_int16_t", "struct mbuf"}
+
+func genCSource(rng *rand.Rand, size int) []byte {
+	var b bytes.Buffer
+	b.Grow(size + 256)
+	fmt.Fprintf(&b, "/*\n * %s.c -- generated module\n */\n\n", cIdents[rng.IntN(len(cIdents))])
+	for _, inc := range []string{"<stdio.h>", "<stdlib.h>", "<string.h>", "<sys/types.h>"} {
+		fmt.Fprintf(&b, "#include %s\n", inc)
+	}
+	b.WriteByte('\n')
+	for b.Len() < size {
+		typ := cTypes[rng.IntN(len(cTypes))]
+		fn := cIdents[rng.IntN(len(cIdents))]
+		arg := cIdents[rng.IntN(len(cIdents))]
+		fmt.Fprintf(&b, "%s\n%s_%d(%s *%s, int n)\n{\n", typ, fn, rng.IntN(100), cTypes[rng.IntN(len(cTypes))], arg)
+		stmts := 3 + rng.IntN(12)
+		fmt.Fprintf(&b, "\tint %s = 0;\n", cIdents[rng.IntN(len(cIdents))])
+		for s := 0; s < stmts; s++ {
+			v1 := cIdents[rng.IntN(len(cIdents))]
+			v2 := cIdents[rng.IntN(len(cIdents))]
+			switch rng.IntN(5) {
+			case 0:
+				fmt.Fprintf(&b, "\tfor (%s = 0; %s < n; %s++) {\n\t\t%s += %s[%s];\n\t}\n", v1, v1, v1, v2, arg, v1)
+			case 1:
+				fmt.Fprintf(&b, "\tif (%s == NULL)\n\t\treturn (-1);\n", v1)
+			case 2:
+				fmt.Fprintf(&b, "\t%s = %s + 0x%x;\n", v1, v2, rng.IntN(65536))
+			case 3:
+				fmt.Fprintf(&b, "\tmemset(%s, 0, sizeof(*%s));\n", v1, v1)
+			case 4:
+				fmt.Fprintf(&b, "\t/* %s the %s */\n", wordPool[zipfIndex(rng, len(wordPool))], v2)
+			}
+		}
+		fmt.Fprintf(&b, "\treturn (%s);\n}\n\n", cIdents[rng.IntN(len(cIdents))])
+	}
+	out := b.Bytes()
+	if len(out) > size {
+		out = out[:size]
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Executables: ELF-ish images.
+
+// opcodeDist is a byte-frequency table biased like compiled machine
+// code: zero dominates, a handful of opcodes and mod/rm bytes recur.
+var opcodeDist = func() [256]byte {
+	var freq [256]int
+	for i := range freq {
+		freq[i] = 1
+	}
+	freq[0x00] = 60
+	for _, common := range []byte{0x8B, 0x89, 0xE8, 0x48, 0xFF, 0x83, 0x0F, 0xC3, 0x90, 0x01, 0x04, 0x24, 0x10, 0x20, 0x40, 0x80} {
+		freq[common] = 20
+	}
+	var table [256]byte
+	// Build a 256-entry alias-free sampling table by repetition: not
+	// exact, but deterministic and cheap.
+	idx := 0
+	total := 0
+	for _, f := range freq {
+		total += f
+	}
+	for v := 0; v < 256; v++ {
+		reps := freq[v] * 256 / total
+		if reps == 0 {
+			reps = 1
+		}
+		for r := 0; r < reps && idx < 256; r++ {
+			table[idx] = byte(v)
+			idx++
+		}
+	}
+	for idx < 256 {
+		table[idx] = 0x00
+		idx++
+	}
+	return table
+}()
+
+func genExecutable(rng *rand.Rand, size int) []byte {
+	out := make([]byte, 0, size+64)
+	// ELF header: magic + plausible fields, mostly zero.
+	hdr := make([]byte, 64)
+	copy(hdr, []byte{0x7F, 'E', 'L', 'F', 2, 1, 1, 0})
+	hdr[16], hdr[18] = 2, 0x3E
+	out = append(out, hdr...)
+	// Alternate sections until full.
+	for len(out) < size {
+		switch rng.IntN(4) {
+		case 0: // .text: opcode-biased bytes with repeated short motifs
+			n := 512 + rng.IntN(2048)
+			motif := make([]byte, 4+rng.IntN(12))
+			for i := range motif {
+				motif[i] = opcodeDist[rng.IntN(256)]
+			}
+			for i := 0; i < n && len(out) < size; i++ {
+				if rng.IntN(16) == 0 {
+					out = append(out, motif...)
+					i += len(motif)
+				} else {
+					out = append(out, opcodeDist[rng.IntN(256)])
+				}
+			}
+		case 1: // .data/.bss image: long zero runs with sparse values
+			n := 256 + rng.IntN(4096)
+			for i := 0; i < n && len(out) < size; i++ {
+				if rng.IntN(32) == 0 {
+					out = append(out, byte(rng.IntN(256)))
+				} else {
+					out = append(out, 0)
+				}
+			}
+		case 2: // .strtab: NUL-separated identifiers
+			n := 8 + rng.IntN(64)
+			for i := 0; i < n && len(out) < size; i++ {
+				id := cIdents[rng.IntN(len(cIdents))]
+				out = append(out, id...)
+				if rng.IntN(2) == 0 {
+					out = append(out, '_')
+					out = append(out, cIdents[rng.IntN(len(cIdents))]...)
+				}
+				out = append(out, 0)
+			}
+		case 3: // .symtab: big-endian u32 records with tiny values
+			n := 16 + rng.IntN(128)
+			for i := 0; i < n && len(out) < size; i++ {
+				v := uint32(rng.IntN(1 << uint(4+rng.IntN(16))))
+				out = append(out, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+			}
+		}
+	}
+	return out[:size]
+}
+
+// ---------------------------------------------------------------------
+// PBM/PGM plots: every data byte 0x00 or 0xFF (§5.5's killer for
+// Fletcher-255).
+
+func genPBMImage(rng *rand.Rand, size int) []byte {
+	w := 256 + 64*rng.IntN(8)
+	out := make([]byte, 0, size+w)
+	out = append(out, fmt.Sprintf("P5\n%d %d\n255\n", w, (size/w)+1)...)
+	// An RTT-plot-like image: white background, black axes and a
+	// wandering black trace.
+	trace := rng.IntN(w)
+	row := 0
+	for len(out) < size {
+		rowStart := len(out)
+		for x := 0; x < w; x++ {
+			out = append(out, 0xFF)
+		}
+		// Axis columns and occasional horizontal gridline.
+		out[rowStart] = 0
+		out[rowStart+w/2] = 0
+		if row%64 == 0 {
+			for x := 0; x < w; x++ {
+				out[rowStart+x] = 0
+			}
+		}
+		// Trace: a few black pixels random-walking.
+		trace += rng.IntN(7) - 3
+		if trace < 0 {
+			trace = 0
+		}
+		if trace >= w {
+			trace = w - 1
+		}
+		for d := 0; d < 3 && trace+d < w; d++ {
+			out[rowStart+trace+d] = 0
+		}
+		row++
+	}
+	return out[:size]
+}
+
+// ---------------------------------------------------------------------
+// Hex-encoded PostScript bitmaps (§5.5): 2W hex chars per line, width a
+// power of two, many identical lines (font bitmaps, solid rules).
+
+func genPSHexBitmap(rng *rand.Rand, size int) []byte {
+	wbits := 4 + rng.IntN(3) // 16, 32 or 64 bytes per row
+	w := 1 << uint(wbits)
+	out := make([]byte, 0, size+2*w+80)
+	out = append(out, fmt.Sprintf("%%!PS-Adobe-2.0\n/picstr %d string def\n%d %d 1\nimage\n", w, w*8, 400)...)
+	const hexd = "0123456789ABCDEF"
+	// A small set of line patterns, reused many times.
+	patterns := make([][]byte, 3+rng.IntN(4))
+	for i := range patterns {
+		row := make([]byte, 0, 2*w+1)
+		for x := 0; x < w; x++ {
+			b := byte(0xFF)
+			if rng.IntN(16) == 0 {
+				b = byte(rng.IntN(256)) // an F7-style blemish
+			}
+			row = append(row, hexd[b>>4], hexd[b&0xF])
+		}
+		row = append(row, '\n')
+		patterns[i] = row
+	}
+	for len(out) < size {
+		out = append(out, patterns[rng.IntN(len(patterns))]...)
+	}
+	return out[:size]
+}
+
+// ---------------------------------------------------------------------
+// BinHex: 64-char lines over the BinHex alphabet, highly repetitive.
+
+const binhexAlphabet = `!"#$%&'()*+,-012345689@ABCDEFGHIJKLMNPQRSTUVXYZ[` + "`abcdefhijklmpqr"
+
+func genBinHex(rng *rand.Rand, size int) []byte {
+	out := make([]byte, 0, size+128)
+	out = append(out, "(This file must be converted with BinHex 4.0)\n:"...)
+	line := make([]byte, 65)
+	line[64] = '\n'
+	for len(out) < size {
+		// Long runs of the same character model BinHex's run-length
+		// escapes of repetitive resource data.
+		i := 0
+		for i < 64 {
+			c := binhexAlphabet[rng.IntN(len(binhexAlphabet))]
+			run := 1
+			if rng.IntN(3) == 0 {
+				run = 2 + rng.IntN(20)
+			}
+			for ; run > 0 && i < 64; run-- {
+				line[i] = c
+				i++
+			}
+		}
+		out = append(out, line...)
+	}
+	return out[:size]
+}
+
+// ---------------------------------------------------------------------
+// gmon.out: mostly-zero 16-bit histogram counters, the non-zero ones
+// drawn from a tiny set of values (§5.5's pathological TCP case).
+
+func genGmonOut(rng *rand.Rand, size int) []byte {
+	out := make([]byte, size)
+	// Header-ish first 20 bytes.
+	for i := 0; i < 20 && i < size; i++ {
+		out[i] = byte(rng.IntN(256))
+	}
+	common := []uint16{1, 1, 1, 2, 2, 3, 5, 16, uint16(rng.IntN(512))}
+	for i := 20; i+2 <= size; i += 2 {
+		if rng.IntN(40) == 0 {
+			v := common[rng.IntN(len(common))]
+			out[i], out[i+1] = byte(v>>8), byte(v)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Word-processor files: text sections separated by ~200 bytes of 0x00
+// followed by ~200 bytes of 0xFF (§5.5).
+
+func genWordProcessor(rng *rand.Rand, size int) []byte {
+	out := make([]byte, 0, size+512)
+	out = append(out, "\xDB\xA5-\x00\x00\x00"...) // magic-ish
+	for len(out) < size {
+		text := genEnglishText(rng, 400+rng.IntN(1200))
+		out = append(out, text...)
+		z := 180 + rng.IntN(60)
+		for i := 0; i < z; i++ {
+			out = append(out, 0x00)
+		}
+		o := 180 + rng.IntN(60)
+		for i := 0; i < o; i++ {
+			out = append(out, 0xFF)
+		}
+	}
+	return out[:size]
+}
+
+// ---------------------------------------------------------------------
+// Compressed data: LZW over generated prose, like Unix compress output.
+
+func genCompressed(rng *rand.Rand, size int) []byte {
+	var b bytes.Buffer
+	b.Write([]byte{0x1F, 0x9D, 0x90}) // compress(1) magic + maxbits
+	w := lzw.NewWriter(&b, lzw.LSB, 8)
+	for b.Len() < size+3 {
+		w.Write(genEnglishText(rng, 8192))
+	}
+	w.Close()
+	out := b.Bytes()
+	if len(out) > size {
+		out = out[:size]
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Log files: repetitive timestamped lines.
+
+var logHosts = []string{"fafner", "smeg", "pompano", "nsc05", "gateway"}
+var logDaemons = []string{"sendmail", "ftpd", "named", "kernel", "inetd", "lpd"}
+var logMsgs = []func(rng *rand.Rand) string{
+	func(r *rand.Rand) string {
+		return fmt.Sprintf("connection from %d.%d.%d.%d", r.IntN(256), r.IntN(256), r.IntN(256), r.IntN(256))
+	},
+	func(r *rand.Rand) string { return "stat=Sent (ok)" },
+	func(r *rand.Rand) string { return fmt.Sprintf("transfer complete: %d bytes", r.IntN(1<<20)) },
+	func(r *rand.Rand) string { return fmt.Sprintf("zone refresh in %d seconds", r.IntN(86400)) },
+	func(r *rand.Rand) string { return "file system full" },
+	func(r *rand.Rand) string { return fmt.Sprintf("retransmitting seq %d", r.IntN(1<<30)) },
+}
+
+func genLogFile(rng *rand.Rand, size int) []byte {
+	var b bytes.Buffer
+	b.Grow(size + 128)
+	day := 1 + rng.IntN(28)
+	hh, mm, ss := rng.IntN(24), rng.IntN(60), rng.IntN(60)
+	for b.Len() < size {
+		ss += 1 + rng.IntN(40)
+		mm += ss / 60
+		ss %= 60
+		hh += mm / 60
+		mm %= 60
+		day += hh / 24
+		hh %= 24
+		fmt.Fprintf(&b, "Jun %2d %02d:%02d:%02d %s %s[%d]: %s\n",
+			day, hh, mm, ss,
+			logHosts[rng.IntN(len(logHosts))],
+			logDaemons[rng.IntN(len(logDaemons))],
+			100+rng.IntN(900),
+			logMsgs[rng.IntN(len(logMsgs))](rng))
+	}
+	out := b.Bytes()
+	if len(out) > size {
+		out = out[:size]
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Generators for the archive/spool/image populations added beyond the
+// paper's named cases.  They are registered in init so the primary
+// generator table in generators.go stays a readable mirror of the
+// paper's §5.5 catalogue.
+
+func init() {
+	generators[TarArchive] = genTarArchive
+	generators[MailSpool] = genMailSpool
+	generators[CoreDump] = genCoreDump
+}
+
+// genTarArchive emits a plausible USTAR stream: 512-byte headers
+// (name, octal size fields, checksum, magic) with zero padding, member
+// bodies of prose or source, and block-aligned zero fill — tar's
+// mixture of text skew and zero runs is a classic checksum hot-spot
+// source.
+func genTarArchive(rng *rand.Rand, size int) []byte {
+	out := make([]byte, 0, size+1024)
+	member := 0
+	for len(out) < size {
+		var body []byte
+		if rng.IntN(2) == 0 {
+			body = genEnglishText(rng, 512+rng.IntN(4096))
+		} else {
+			body = genCSource(rng, 512+rng.IntN(4096))
+		}
+		hdr := make([]byte, 512)
+		name := fmt.Sprintf("src/%s%03d.%s", cIdents[rng.IntN(len(cIdents))], member, []string{"txt", "c"}[rng.IntN(2)])
+		copy(hdr, name)
+		copy(hdr[100:], "0000644\x00")                       // mode
+		copy(hdr[108:], "0001750\x00")                       // uid
+		copy(hdr[116:], "0001750\x00")                       // gid
+		copy(hdr[124:], fmt.Sprintf("%011o\x00", len(body))) // size
+		copy(hdr[136:], "07652412345\x00")                   // mtime
+		copy(hdr[257:], "ustar\x0000")
+		// Header checksum: spaces while summing, then octal.
+		for i := 148; i < 156; i++ {
+			hdr[i] = ' '
+		}
+		sum := 0
+		for _, b := range hdr {
+			sum += int(b)
+		}
+		copy(hdr[148:], fmt.Sprintf("%06o\x00 ", sum))
+		out = append(out, hdr...)
+		out = append(out, body...)
+		if pad := 512 - len(body)%512; pad != 512 {
+			out = append(out, make([]byte, pad)...)
+		}
+		member++
+	}
+	return out[:size]
+}
+
+// genMailSpool emits an mbox spool: highly repetitive header blocks
+// (the same Received/Message-ID shapes over and over) with prose
+// bodies — strong local correlation between adjacent messages.
+func genMailSpool(rng *rand.Rand, size int) []byte {
+	out := make([]byte, 0, size+512)
+	users := []string{"craig", "jonathan", "michael", "jim", "staff", "ops"}
+	hosts := []string{"bbn.com", "stanford.edu", "sics.se", "network.com"}
+	msg := 0
+	for len(out) < size {
+		from := users[rng.IntN(len(users))] + "@" + hosts[rng.IntN(len(hosts))]
+		to := users[rng.IntN(len(users))] + "@" + hosts[rng.IntN(len(hosts))]
+		out = append(out, fmt.Sprintf(
+			"From %s Mon Jun %2d %02d:%02d:%02d 1995\n"+
+				"Received: from %s by %s (5.65c/IDA-1.4.4)\n"+
+				"\tid AA%05d; Mon, %d Jun 95 %02d:%02d:%02d -0400\n"+
+				"Message-Id: <9506%02d%02d%02d.AA%05d@%s>\n"+
+				"From: %s\nTo: %s\nSubject: re: checksum results (%d)\n\n",
+			from, 1+rng.IntN(28), rng.IntN(24), rng.IntN(60), rng.IntN(60),
+			hosts[rng.IntN(len(hosts))], hosts[rng.IntN(len(hosts))],
+			rng.IntN(100000), 1+rng.IntN(28), rng.IntN(24), rng.IntN(60), rng.IntN(60),
+			1+rng.IntN(28), rng.IntN(24), rng.IntN(60), rng.IntN(100000), hosts[rng.IntN(len(hosts))],
+			from, to, msg)...)
+		out = append(out, genEnglishText(rng, 200+rng.IntN(1500))...)
+		out = append(out, '\n', '\n')
+		msg++
+	}
+	return out[:size]
+}
+
+// genCoreDump emits a process-image-like file: large zero regions,
+// runs of repeated word-aligned "pointers" into a small address range,
+// stretches of machine code, and NUL-separated strings — zero-dominated
+// with repeated multi-byte patterns at fixed strides.
+func genCoreDump(rng *rand.Rand, size int) []byte {
+	out := make([]byte, 0, size+256)
+	base := uint32(0xEF000000 | rng.Uint32()&0x00FFF000)
+	for len(out) < size {
+		switch rng.IntN(5) {
+		case 0, 1: // zero region
+			n := 1024 + rng.IntN(8192)
+			out = append(out, make([]byte, n)...)
+		case 2: // stack frame: repeated near-identical pointers
+			n := 16 + rng.IntN(200)
+			for i := 0; i < n && len(out) < size; i++ {
+				p := base + uint32(rng.IntN(64))*16
+				out = append(out, byte(p>>24), byte(p>>16), byte(p>>8), byte(p))
+			}
+		case 3: // text segment fragment
+			n := 256 + rng.IntN(1024)
+			for i := 0; i < n && len(out) < size; i++ {
+				out = append(out, opcodeDist[rng.IntN(256)])
+			}
+		case 4: // environment strings
+			for i := 0; i < 8+rng.IntN(24) && len(out) < size; i++ {
+				out = append(out, cIdents[rng.IntN(len(cIdents))]...)
+				out = append(out, '=')
+				out = append(out, wordPool[zipfIndex(rng, len(wordPool))]...)
+				out = append(out, 0)
+			}
+		}
+	}
+	return out[:size]
+}

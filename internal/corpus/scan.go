@@ -1,0 +1,74 @@
+package corpus
+
+import (
+	"bytes"
+	"compress/lzw"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// ScanDir walks a real directory tree and invokes fn for every regular
+// file, in lexical order, mirroring FS.Walk — so the whole experiment
+// harness can be pointed at an actual file system instead of a synthetic
+// profile, exactly as the paper's test program was.
+func ScanDir(root string, fn func(path string, data []byte) error) error {
+	return filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.Type().IsRegular() {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return fn(path, data)
+	})
+}
+
+// Compress applies LZW compression (the algorithm of Unix compress, as
+// used for the paper's Table 7 experiment) to data.
+func Compress(data []byte) []byte {
+	var b bytes.Buffer
+	w := lzw.NewWriter(&b, lzw.LSB, 8)
+	w.Write(data)
+	w.Close()
+	return b.Bytes()
+}
+
+// CompressFS returns a view of fs in which every file's contents are
+// LZW-compressed, reproducing "we compressed all the files in the file
+// system ... and ran our tests on the compressed files" (§5.1).
+func CompressFS(orig *FS) *CompressedFS { return &CompressedFS{orig: orig} }
+
+// CompressedFS wraps an FS, compressing each file during Walk.
+type CompressedFS struct {
+	orig *FS
+}
+
+// Name returns the underlying file system's name with a marker.
+func (c *CompressedFS) Name() string { return c.orig.Name + " (compressed)" }
+
+// Walk visits every file's compressed contents.
+func (c *CompressedFS) Walk(fn func(path string, data []byte) error) error {
+	return c.orig.Walk(func(path string, data []byte) error {
+		return fn(path+".Z", Compress(data))
+	})
+}
+
+// Walker is the file-source interface the simulator consumes: synthetic
+// file systems, compressed views and real directory trees all satisfy
+// it.
+type Walker interface {
+	Walk(fn func(path string, data []byte) error) error
+}
+
+// DirWalker adapts ScanDir to the Walker interface.
+type DirWalker string
+
+// Walk implements Walker.
+func (d DirWalker) Walk(fn func(path string, data []byte) error) error {
+	return ScanDir(string(d), fn)
+}

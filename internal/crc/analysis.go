@@ -1,0 +1,40 @@
+package crc
+
+import "realsum/internal/gf2poly"
+
+// Generator returns the full generator polynomial of p, including the
+// implicit x^Width term.
+func (p Params) Generator() gf2poly.Poly {
+	return gf2poly.FromCRC(p.Poly&p.Mask(), p.Width)
+}
+
+// DetectsOddErrors reports whether p detects every odd-weight error
+// pattern: true exactly when the generator contains the factor x+1.
+// §2 of the paper asserts this for CRC-32; the computation shows the
+// assertion is false for the 802.3 polynomial (15 terms, no x+1
+// factor) and true for the CRC-16 family and CRC-32C.
+func (p Params) DetectsOddErrors() bool {
+	return gf2poly.DetectsOddErrors(p.Generator())
+}
+
+// Detects2BitErrorsWithin reports whether p detects every 2-bit error
+// whose positions differ by at most spacing bits — true when the
+// multiplicative order of x modulo the generator exceeds spacing.
+// Verifying §2's "all 2-bit errors less than 2048 bits apart" for
+// CRC-32 takes 2048 modular multiplications.
+func (p Params) Detects2BitErrorsWithin(spacing uint64) bool {
+	return gf2poly.Detects2BitErrors(p.Generator(), spacing)
+}
+
+// MaxBurstDetected returns the largest burst length (in bits) for
+// which detection is unconditional: the width of the CRC.  Any burst
+// error of length ≤ Width corresponds to an error polynomial
+// x^k·e(x) with deg(e) < Width, which a degree-Width generator with a
+// nonzero constant term can never divide.
+func (p Params) MaxBurstDetected() int { return int(p.Width) }
+
+// GeneratorIsIrreducible reports whether the generator polynomial is
+// irreducible over GF(2).
+func (p Params) GeneratorIsIrreducible() bool {
+	return gf2poly.IsIrreducible(p.Generator())
+}

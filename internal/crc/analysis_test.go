@@ -1,0 +1,89 @@
+package crc
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestAnalysisMatchesCatalogKnowledge(t *testing.T) {
+	tests := []struct {
+		p           Params
+		oddErrors   bool
+		irreducible bool
+	}{
+		{CRC32, false, true},  // primitive: no x+1 factor
+		{CRC32C, true, false}, // (x+1)·primitive-31
+		{CRC16, true, false},
+		{CRC16CCITT, true, false},
+		{CRC16XMODEM, true, false},
+		{CRC10, true, false},
+		{CRC8HEC, true, false},
+		{CRC8, true, false},
+	}
+	for _, tc := range tests {
+		if got := tc.p.DetectsOddErrors(); got != tc.oddErrors {
+			t.Errorf("%s: DetectsOddErrors = %v, want %v", tc.p.Name, got, tc.oddErrors)
+		}
+		if got := tc.p.GeneratorIsIrreducible(); got != tc.irreducible {
+			t.Errorf("%s: GeneratorIsIrreducible = %v, want %v", tc.p.Name, got, tc.irreducible)
+		}
+		if tc.p.MaxBurstDetected() != int(tc.p.Width) {
+			t.Errorf("%s: MaxBurstDetected", tc.p.Name)
+		}
+	}
+}
+
+func TestAnalysisPredictsEmpiricalOddErrorBehaviour(t *testing.T) {
+	// The algebraic prediction must match what random odd-weight error
+	// injection observes: algorithms with the x+1 factor never miss,
+	// and CRC-32's generator itself is an odd-weight miss (verified in
+	// properties_test.go).
+	rng := rand.New(rand.NewPCG(20, 20))
+	base := make([]byte, 128)
+	for i := range base {
+		base[i] = byte(rng.Uint32())
+	}
+	for _, p := range []Params{CRC32C, CRC16, CRC10, CRC8HEC} {
+		if !p.DetectsOddErrors() {
+			t.Fatalf("%s should carry the x+1 factor", p.Name)
+		}
+		tab := New(p)
+		orig := tab.Checksum(base)
+		for trial := 0; trial < 3000; trial++ {
+			weight := 1 + 2*rng.IntN(10)
+			data := append([]byte{}, base...)
+			seen := map[int]bool{}
+			for len(seen) < weight {
+				bit := rng.IntN(len(base) * 8)
+				if !seen[bit] {
+					seen[bit] = true
+					data[bit/8] ^= 1 << uint(bit%8)
+				}
+			}
+			if tab.Checksum(data) == orig {
+				t.Fatalf("%s missed an odd-weight (%d) error despite the x+1 factor", p.Name, weight)
+			}
+		}
+	}
+}
+
+func TestDetects2BitErrorsWithinPaperWindows(t *testing.T) {
+	if !CRC32.Detects2BitErrorsWithin(2048) {
+		t.Error("CRC-32 must detect 2-bit errors within the paper's 2048-bit window")
+	}
+	// CRC-16/CCITT order is 32767; confirm both sides of the boundary.
+	if !CRC16CCITT.Detects2BitErrorsWithin(32766) {
+		t.Error("CCITT within its order")
+	}
+	if CRC16CCITT.Detects2BitErrorsWithin(32767) {
+		t.Error("CCITT beyond its order")
+	}
+}
+
+func TestGeneratorDegreeMatchesWidth(t *testing.T) {
+	for _, p := range Catalog() {
+		if got := p.Generator().Degree(); got != int(p.Width) {
+			t.Errorf("%s: generator degree %d != width %d", p.Name, got, p.Width)
+		}
+	}
+}

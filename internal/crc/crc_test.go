@@ -1,0 +1,249 @@
+package crc
+
+import (
+	"hash/crc32"
+	"math/rand/v2"
+	"testing"
+)
+
+var checkInput = []byte("123456789")
+
+func TestCatalogCheckValues(t *testing.T) {
+	for _, p := range Catalog() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			if got := New(p).Checksum(checkInput); got != p.Check {
+				t.Errorf("table Checksum(%q) = %#x, want %#x", checkInput, got, p.Check)
+			}
+			if got := p.BitwiseChecksum(checkInput); got != p.Check {
+				t.Errorf("bitwise Checksum(%q) = %#x, want %#x", checkInput, got, p.Check)
+			}
+		})
+	}
+}
+
+func TestTableMatchesBitwise(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, p := range Catalog() {
+		tab := New(p)
+		for trial := 0; trial < 50; trial++ {
+			data := make([]byte, rng.IntN(200))
+			for i := range data {
+				data[i] = byte(rng.Uint32())
+			}
+			if got, want := tab.Checksum(data), p.BitwiseChecksum(data); got != want {
+				t.Fatalf("%s len %d: table %#x != bitwise %#x", p.Name, len(data), got, want)
+			}
+		}
+	}
+}
+
+func TestCRC32MatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	tab := New(CRC32)
+	for trial := 0; trial < 300; trial++ {
+		data := make([]byte, rng.IntN(2000))
+		for i := range data {
+			data[i] = byte(rng.Uint32())
+		}
+		if got, want := uint32(tab.Checksum(data)), crc32.ChecksumIEEE(data); got != want {
+			t.Fatalf("len %d: ours %#08x, stdlib %#08x", len(data), got, want)
+		}
+	}
+}
+
+func TestUpdateMatchesOneShot(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	for _, p := range Catalog() {
+		tab := New(p)
+		data := make([]byte, 300)
+		for i := range data {
+			data[i] = byte(rng.Uint32())
+		}
+		whole := tab.Checksum(data)
+		for _, cut := range []int{0, 1, 7, 150, 299, 300} {
+			got := tab.Update(tab.Checksum(data[:cut]), data[cut:])
+			if got != whole {
+				t.Errorf("%s split %d: Update = %#x, want %#x", p.Name, cut, got, whole)
+			}
+		}
+	}
+}
+
+func TestDigestStreaming(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	for _, p := range Catalog() {
+		tab := New(p)
+		data := make([]byte, 777)
+		for i := range data {
+			data[i] = byte(rng.Uint32())
+		}
+		d := tab.NewDigest()
+		i := 0
+		for i < len(data) {
+			n := 1 + rng.IntN(100)
+			if i+n > len(data) {
+				n = len(data) - i
+			}
+			d.Write(data[i : i+n])
+			i += n
+		}
+		if d.Len() != len(data) {
+			t.Fatalf("%s: Len = %d", p.Name, d.Len())
+		}
+		if got, want := d.CRC(), tab.Checksum(data); got != want {
+			t.Fatalf("%s: streaming %#x != one-shot %#x", p.Name, got, want)
+		}
+		d.Reset()
+		if d.CRC() != tab.Checksum(nil) || d.Len() != 0 {
+			t.Errorf("%s: Reset did not restore initial state", p.Name)
+		}
+	}
+}
+
+func TestCombineMatchesConcatenation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	for _, p := range Catalog() {
+		tab := New(p)
+		for trial := 0; trial < 30; trial++ {
+			a := make([]byte, rng.IntN(300))
+			b := make([]byte, rng.IntN(300))
+			for i := range a {
+				a[i] = byte(rng.Uint32())
+			}
+			for i := range b {
+				b[i] = byte(rng.Uint32())
+			}
+			whole := tab.Checksum(append(append([]byte{}, a...), b...))
+			if got := tab.Combine(tab.Checksum(a), tab.Checksum(b), len(b)); got != whole {
+				t.Fatalf("%s: Combine = %#x, want %#x (lenA=%d lenB=%d)",
+					p.Name, got, whole, len(a), len(b))
+			}
+		}
+	}
+}
+
+func TestCombineMatchesStdlibShape(t *testing.T) {
+	// Cross-check our CRC-32 Combine against stdlib by concatenation.
+	tab := New(CRC32)
+	a := []byte("hello, ")
+	b := []byte("world")
+	want := crc32.ChecksumIEEE([]byte("hello, world"))
+	got := tab.Combine(uint64(crc32.ChecksumIEEE(a)), uint64(crc32.ChecksumIEEE(b)), len(b))
+	if uint32(got) != want {
+		t.Errorf("Combine = %#08x, want %#08x", got, want)
+	}
+}
+
+func TestZeroesMatchesUpdate(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	for _, p := range []Params{CRC32, CRC10, CRC16CCITT, CRC8HEC, CRC64} {
+		tab := New(p)
+		data := make([]byte, 100)
+		for i := range data {
+			data[i] = byte(rng.Uint32())
+		}
+		crc := tab.Checksum(data)
+		for _, n := range []int{0, 1, 13, 48, 1000} {
+			want := tab.Update(crc, make([]byte, n))
+			if got := tab.Zeroes(crc, n); got != want {
+				t.Errorf("%s Zeroes(%d) = %#x, want %#x", p.Name, n, got, want)
+			}
+		}
+	}
+}
+
+func TestMakeParamsArbitraryWidths(t *testing.T) {
+	// Exercise odd widths end-to-end: table must agree with bitwise for
+	// widths that are not byte multiples.
+	rng := rand.New(rand.NewPCG(7, 7))
+	widths := []struct {
+		w    uint8
+		poly uint64
+	}{
+		{3, 0x3}, {5, 0x15}, {7, 0x65}, {10, 0x233}, {12, 0x80F},
+		{13, 0x1CF5}, {21, 0x102899}, {31, 0x04C11DB7 >> 1}, {63, 0x42F0E1EBA9EA3693 >> 1},
+	}
+	for _, wp := range widths {
+		p := MakeParams(wp.w, wp.poly)
+		tab := New(p)
+		for trial := 0; trial < 20; trial++ {
+			data := make([]byte, rng.IntN(100))
+			for i := range data {
+				data[i] = byte(rng.Uint32())
+			}
+			if got, want := tab.Checksum(data), p.BitwiseChecksum(data); got != want {
+				t.Fatalf("width %d: table %#x != bitwise %#x", wp.w, got, want)
+			}
+		}
+	}
+}
+
+func TestNewPanicsOnBadParams(t *testing.T) {
+	for _, p := range []Params{
+		{Name: "w0", Width: 0, Poly: 1},
+		{Name: "w65", Width: 65, Poly: 1},
+		{Name: "mixed", Width: 8, Poly: 7, RefIn: true, RefOut: false},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%s) should panic", p.Name)
+				}
+			}()
+			New(p)
+		}()
+	}
+}
+
+func TestByName(t *testing.T) {
+	if p, ok := ByName("CRC-32"); !ok || p.Poly != 0x04C11DB7 {
+		t.Error("ByName(CRC-32) failed")
+	}
+	if _, ok := ByName("CRC-nonsense"); ok {
+		t.Error("ByName should miss unknown names")
+	}
+}
+
+func TestReflect(t *testing.T) {
+	tests := []struct {
+		v    uint64
+		n    uint8
+		want uint64
+	}{
+		{0b1, 1, 0b1},
+		{0b10, 2, 0b01},
+		{0xF0, 8, 0x0F},
+		{0x04C11DB7, 32, 0xEDB88320}, // the famous reflected CRC-32 poly
+		{0x1, 64, 1 << 63},
+	}
+	for _, tc := range tests {
+		if got := Reflect(tc.v, tc.n); got != tc.want {
+			t.Errorf("Reflect(%#x, %d) = %#x, want %#x", tc.v, tc.n, got, tc.want)
+		}
+	}
+}
+
+func BenchmarkCRC32_1500(b *testing.B) {
+	tab := New(CRC32)
+	data := make([]byte, 1500)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		tab.Checksum(data)
+	}
+}
+
+func BenchmarkCRC10_1500(b *testing.B) {
+	tab := New(CRC10)
+	data := make([]byte, 1500)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		tab.Checksum(data)
+	}
+}

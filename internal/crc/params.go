@@ -1,0 +1,111 @@
+package crc
+
+// Catalog of CRC algorithms used by the paper and its substrates.  Poly,
+// Init, reflection, XorOut and Check values follow the Rocksoft/catalog
+// conventions (CRC RevEng parameter database).
+var (
+	// CRC32 is the IEEE 802.3 / AAL5 / ISO-HDLC CRC-32: the algorithm
+	// AAL5 uses in its CPCS trailer and the one the paper measures
+	// against packet splices.  It detects all burst errors shorter than
+	// 32 bits and all 2-bit errors less than 2048 bits apart (§2).
+	CRC32 = Params{
+		Name: "CRC-32", Width: 32, Poly: 0x04C11DB7,
+		Init: 0xFFFFFFFF, RefIn: true, RefOut: true, XorOut: 0xFFFFFFFF,
+		Check: 0xCBF43926,
+	}
+
+	// CRC32C is the Castagnoli CRC-32 (iSCSI, SCTP), included as the
+	// strongest common 32-bit alternative.
+	CRC32C = Params{
+		Name: "CRC-32C", Width: 32, Poly: 0x1EDC6F41,
+		Init: 0xFFFFFFFF, RefIn: true, RefOut: true, XorOut: 0xFFFFFFFF,
+		Check: 0xE3069283,
+	}
+
+	// CRC10 is the ATM OAM CRC-10 (ITU-T I.610), the natural 10-bit CRC
+	// to compare against: §7's headline observation is that the 16-bit
+	// TCP checksum over real data performs about as well as a 10-bit CRC
+	// over uniform data.
+	CRC10 = Params{
+		Name: "CRC-10", Width: 10, Poly: 0x233,
+		Init: 0, RefIn: false, RefOut: false, XorOut: 0,
+		Check: 0x199,
+	}
+
+	// CRC16 is the "ARC" CRC-16 (ANSI, x^16+x^15+x^2+1).  Its generator
+	// contains the factor (x+1), so it detects all odd-weight errors.
+	CRC16 = Params{
+		Name: "CRC-16", Width: 16, Poly: 0x8005,
+		Init: 0, RefIn: true, RefOut: true, XorOut: 0,
+		Check: 0xBB3D,
+	}
+
+	// CRC16CCITT is the CCITT CRC-16 with 0xFFFF preset
+	// (x^16+x^12+x^5+1, also divisible by x+1).
+	CRC16CCITT = Params{
+		Name: "CRC-16/CCITT", Width: 16, Poly: 0x1021,
+		Init: 0xFFFF, RefIn: false, RefOut: false, XorOut: 0,
+		Check: 0x29B1,
+	}
+
+	// CRC16XMODEM is the zero-preset CCITT polynomial variant.
+	CRC16XMODEM = Params{
+		Name: "CRC-16/XMODEM", Width: 16, Poly: 0x1021,
+		Init: 0, RefIn: false, RefOut: false, XorOut: 0,
+		Check: 0x31C3,
+	}
+
+	// CRC8HEC is the ATM Header Error Control CRC-8 (ITU-T I.432.1):
+	// polynomial x^8+x^2+x+1 with the 0x55 coset XORed into the result
+	// to improve cell delineation.
+	CRC8HEC = Params{
+		Name: "CRC-8/HEC", Width: 8, Poly: 0x07,
+		Init: 0, RefIn: false, RefOut: false, XorOut: 0x55,
+		Check: 0xA1,
+	}
+
+	// CRC8 is the plain SMBus CRC-8 over the same polynomial, without
+	// the HEC coset.
+	CRC8 = Params{
+		Name: "CRC-8", Width: 8, Poly: 0x07,
+		Init: 0, RefIn: false, RefOut: false, XorOut: 0,
+		Check: 0xF4,
+	}
+
+	// CRC64 is the CRC-64/XZ (GO-ISO-reflected family) algorithm,
+	// included to let the harness scale the "effective bits" comparison
+	// above 32 bits.
+	CRC64 = Params{
+		Name: "CRC-64/XZ", Width: 64, Poly: 0x42F0E1EBA9EA3693,
+		Init: 0xFFFFFFFFFFFFFFFF, RefIn: true, RefOut: true,
+		XorOut: 0xFFFFFFFFFFFFFFFF, Check: 0x995DC9BBDF1939FA,
+	}
+)
+
+// Catalog lists every registered algorithm, for table-driven tests and
+// the command-line tools.
+func Catalog() []Params {
+	return []Params{CRC32, CRC32C, CRC10, CRC16, CRC16CCITT, CRC16XMODEM, CRC8HEC, CRC8, CRC64}
+}
+
+// ByName returns the catalogued Params with the given name and whether
+// it exists.
+func ByName(name string) (Params, bool) {
+	for _, p := range Catalog() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Params{}, false
+}
+
+// MakeParams builds an unreflected, zero-preset CRC of arbitrary width
+// over the given polynomial — the knob the "effective bits" experiment
+// turns to compare the TCP checksum against w-bit CRCs on uniform data.
+func MakeParams(width uint8, poly uint64) Params {
+	return Params{
+		Name:  "CRC-custom",
+		Width: width,
+		Poly:  poly,
+	}
+}

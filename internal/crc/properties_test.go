@@ -1,0 +1,208 @@
+package crc
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// These tests verify the error-detection guarantees §2 of the paper
+// states for CRCs, and pin down one place where the paper's wording is
+// stronger than the mathematics (odd-weight errors under CRC-32).
+
+// flipBurst XORs an error burst of the given bit length and pattern into
+// data starting at stream-bit offset pos.  The CRC burst-detection
+// guarantee holds for bursts that are contiguous in the order bits enter
+// the shift register, so the mapping from stream bit to byte bit depends
+// on the algorithm's input reflection: MSB-first when refIn is false,
+// LSB-first when true.
+func flipBurst(data []byte, pos, length int, pattern uint64, refIn bool) {
+	for i := 0; i < length; i++ {
+		if pattern&(1<<uint(length-1-i)) != 0 {
+			bit := pos + i
+			if refIn {
+				data[bit/8] ^= 1 << uint(bit%8)
+			} else {
+				data[bit/8] ^= 0x80 >> uint(bit%8)
+			}
+		}
+	}
+}
+
+func TestCRCDetectsAllShortBursts(t *testing.T) {
+	// Every burst error spanning ≤ Width contiguous bits is detected,
+	// for every burst pattern with set first and last bits.  Exhaustive
+	// for the narrow CRCs, sampled for the wide ones.
+	rng := rand.New(rand.NewPCG(10, 1))
+	base := make([]byte, 64)
+	for i := range base {
+		base[i] = byte(rng.Uint32())
+	}
+	for _, p := range []Params{CRC8, CRC10, CRC16CCITT, CRC16, CRC32} {
+		tab := New(p)
+		orig := tab.Checksum(base)
+		w := int(p.Width)
+		for length := 1; length <= w; length++ {
+			patterns := burstPatterns(rng, length, 64)
+			for _, pattern := range patterns {
+				pos := rng.IntN(len(base)*8 - length + 1)
+				data := append([]byte{}, base...)
+				flipBurst(data, pos, length, pattern, p.RefIn)
+				if tab.Checksum(data) == orig {
+					t.Fatalf("%s missed a %d-bit burst %#x at bit %d", p.Name, length, pattern, pos)
+				}
+			}
+		}
+	}
+}
+
+// burstPatterns returns burst patterns of exactly `length` bits (first
+// and last bit set): exhaustive when few, sampled otherwise.
+func burstPatterns(rng *rand.Rand, length, maxN int) []uint64 {
+	if length == 1 {
+		return []uint64{1}
+	}
+	hi := uint64(1) << uint(length-1)
+	free := length - 2
+	if free <= 6 { // ≤ 64 patterns: exhaustive
+		var out []uint64
+		for mid := uint64(0); mid < 1<<uint(free); mid++ {
+			out = append(out, hi|mid<<1|1)
+		}
+		return out
+	}
+	out := make([]uint64, 0, maxN)
+	for i := 0; i < maxN; i++ {
+		mid := rng.Uint64() & ((1 << uint(free)) - 1)
+		out = append(out, hi|mid<<1|1)
+	}
+	return out
+}
+
+func TestOddWeightErrorsDetectedWhenPolyHasX1Factor(t *testing.T) {
+	// CRC-16 (x^16+x^15+x^2+1) and CRC-16/CCITT (x^16+x^12+x^5+1) both
+	// factor as (x+1)·q(x), so every odd-weight error pattern is
+	// detected.  Randomized over positions and weights.
+	rng := rand.New(rand.NewPCG(10, 2))
+	base := make([]byte, 256)
+	for i := range base {
+		base[i] = byte(rng.Uint32())
+	}
+	for _, p := range []Params{CRC16, CRC16CCITT} {
+		tab := New(p)
+		orig := tab.Checksum(base)
+		for trial := 0; trial < 2000; trial++ {
+			weight := 1 + 2*rng.IntN(8) // odd: 1,3,...,15
+			data := append([]byte{}, base...)
+			seen := map[int]bool{}
+			flipped := 0
+			for flipped < weight {
+				bit := rng.IntN(len(base) * 8)
+				if seen[bit] {
+					continue
+				}
+				seen[bit] = true
+				data[bit/8] ^= 0x80 >> uint(bit%8)
+				flipped++
+			}
+			if tab.Checksum(data) == orig {
+				t.Fatalf("%s missed an odd-weight (%d) error", p.Name, weight)
+			}
+		}
+	}
+}
+
+func TestCRC32OddWeightCounterexample(t *testing.T) {
+	// §2 of the paper claims CRC-32 "will detect all cases where there
+	// are an odd number of errors".  The IEEE 802.3 generator has 15
+	// terms (odd), so it is NOT divisible by (x+1), and the generator
+	// itself is an undetectable error pattern of odd weight.  This test
+	// documents that the paper's claim is slightly too strong — it has
+	// no bearing on the paper's results, which treat the CRC-32 miss
+	// rate as ≈2^-32 on splices.
+	tab := New(CRC32)
+	base := make([]byte, 16)
+	orig := tab.Checksum(base)
+	data := append([]byte{}, base...)
+	// Error polynomial = generator (x^32 + ... + 1), 33 bits, 15 terms.
+	// CRC-32 processes input LSB-first (RefIn), so lay the burst out in
+	// stream order: stream bit p lives at data[p/8] bit (p%8).
+	for i := 0; i < 33; i++ {
+		if 0x104C11DB7&(uint64(1)<<uint(32-i)) != 0 {
+			bit := 40 + i
+			data[bit/8] ^= 1 << uint(bit%8)
+		}
+	}
+	if got := tab.Checksum(data); got != orig {
+		t.Fatalf("error pattern equal to the generator should be undetectable, got %#x vs %#x", got, orig)
+	}
+	// Confirm the pattern really has odd weight.
+	weight := 0
+	for _, b := range data {
+		for ; b != 0; b &= b - 1 {
+			weight++
+		}
+	}
+	if weight%2 == 0 {
+		t.Fatalf("counterexample weight %d is not odd", weight)
+	}
+}
+
+func TestCRC32DoubleBitErrors(t *testing.T) {
+	// §2: CRC-32 detects all 2-bit errors less than 2048 bits apart.
+	// (The true figure for the 802.3 polynomial is much larger; we test
+	// the paper's stated window.)  Sampled positions, all spacings
+	// covered in slices.
+	rng := rand.New(rand.NewPCG(10, 3))
+	tab := New(CRC32)
+	base := make([]byte, 2048/8+64)
+	for i := range base {
+		base[i] = byte(rng.Uint32())
+	}
+	orig := tab.Checksum(base)
+	for spacing := 1; spacing < 2048; spacing += 1 + rng.IntN(3) {
+		pos := rng.IntN(len(base)*8 - spacing - 1)
+		data := append([]byte{}, base...)
+		data[pos/8] ^= 0x80 >> uint(pos%8)
+		q := pos + spacing
+		data[q/8] ^= 0x80 >> uint(q%8)
+		if tab.Checksum(data) == orig {
+			t.Fatalf("CRC-32 missed a 2-bit error with spacing %d", spacing)
+		}
+	}
+}
+
+func TestUniformMissRateMatchesWidth(t *testing.T) {
+	// For random substitution errors on uniform data, a w-bit CRC
+	// misses at ≈2^-w.  Verify the *collision* behaviour for the narrow
+	// CRCs by birthday-style sampling: the number of distinct CRC-10
+	// values over many random 48-byte cells should cover the whole
+	// 1024-value space roughly uniformly.
+	rng := rand.New(rand.NewPCG(10, 4))
+	tab := New(CRC10)
+	counts := make([]int, 1024)
+	const samples = 200000
+	cell := make([]byte, 48)
+	for i := 0; i < samples; i++ {
+		for j := range cell {
+			cell[j] = byte(rng.Uint32())
+		}
+		counts[tab.Checksum(cell)]++
+	}
+	// Chi-square against uniform: expected 195.3 per bucket; the 1023-df
+	// statistic should be nowhere near a gross-skew value.  Use a loose
+	// bound (3x) to keep the test robust.
+	exp := float64(samples) / 1024
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - exp
+		chi2 += d * d / exp
+	}
+	if chi2 > 3*1024 {
+		t.Errorf("CRC-10 over uniform cells looks non-uniform: chi2 = %.0f over 1023 df", chi2)
+	}
+	for v, c := range counts {
+		if c == 0 {
+			t.Errorf("CRC-10 value %#x never occurred in %d samples", v, samples)
+		}
+	}
+}

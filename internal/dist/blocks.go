@@ -1,0 +1,155 @@
+package dist
+
+import (
+	"bytes"
+	"hash/fnv"
+
+	"realsum/internal/inet"
+	"realsum/internal/onescomp"
+)
+
+// CellSize is the block quantum of the whole study: the ATM cell
+// payload.
+const CellSize = 48
+
+// CellSums returns the ones-complement partial sum of every complete
+// 48-byte cell of data.  A trailing runt is ignored; the paper's
+// distribution sampling "only deals in full-size cells" (§4.6).
+func CellSums(data []byte) []uint16 {
+	n := len(data) / CellSize
+	out := make([]uint16, n)
+	for i := 0; i < n; i++ {
+		out[i] = inet.Sum(data[i*CellSize : (i+1)*CellSize])
+	}
+	return out
+}
+
+// BlockSum composes k consecutive cell sums starting at cell i into the
+// block's ones-complement sum.  Cells are 48 bytes, so every cell is
+// word-aligned and partial sums add without byte swaps (§4.1).
+func BlockSum(cellSums []uint16, i, k int) uint16 {
+	var s uint16
+	for j := i; j < i+k; j++ {
+		s = onescomp.Add(s, cellSums[j])
+	}
+	return s
+}
+
+// GlobalSampler accumulates the file-system-wide distribution of k-cell
+// block checksums, plus a content-hash census so identical blocks can
+// be excluded — the "Globally Congruent" and "Exclude Identical"
+// machinery of Tables 4–6.
+type GlobalSampler struct {
+	K      int
+	hist   *Histogram
+	hashes map[uint64]uint64
+	blocks uint64
+}
+
+// NewGlobalSampler returns a sampler for k-cell blocks.
+func NewGlobalSampler(k int) *GlobalSampler {
+	return &GlobalSampler{K: k, hist: NewHistogram(), hashes: make(map[uint64]uint64)}
+}
+
+// AddFile records every aligned k-cell block of one file.
+func (g *GlobalSampler) AddFile(data []byte) {
+	sums := CellSums(data)
+	k := g.K
+	for i := 0; i+k <= len(sums); i += k {
+		g.hist.Add(BlockSum(sums, i, k))
+		h := fnv.New64a()
+		h.Write(data[i*CellSize : (i+k)*CellSize])
+		g.hashes[h.Sum64()]++
+		g.blocks++
+	}
+}
+
+// Histogram exposes the accumulated checksum histogram.
+func (g *GlobalSampler) Histogram() *Histogram { return g.hist }
+
+// CongruentProbability returns the probability that two blocks drawn
+// from anywhere in the sampled data have congruent checksums
+// (Table 4's / Table 5's "Globally Congruent" column).
+func (g *GlobalSampler) CongruentProbability() float64 {
+	return g.hist.CollisionProbability()
+}
+
+// IdenticalProbability estimates the probability that two distinct
+// blocks drawn from the sampled data have identical contents — the
+// benign congruences §4.5 subtracts out.  Like CollisionProbability it
+// uses the unbiased pair estimator.
+func (g *GlobalSampler) IdenticalProbability() float64 {
+	if g.blocks < 2 {
+		return 0
+	}
+	var s float64
+	for _, c := range g.hashes {
+		if c > 1 {
+			s += float64(c) * float64(c-1)
+		}
+	}
+	return s / (float64(g.blocks) * float64(g.blocks-1))
+}
+
+// Blocks returns the number of blocks sampled.
+func (g *GlobalSampler) Blocks() uint64 { return g.blocks }
+
+// LocalStats counts block-pair comparisons restricted to a locality
+// window (Table 5).
+type LocalStats struct {
+	Pairs     uint64 // pairs compared
+	Congruent uint64 // pairs with congruent checksums (incl. identical)
+	Identical uint64 // pairs with byte-identical contents
+}
+
+// Add accumulates another set of counts.
+func (s *LocalStats) Add(o LocalStats) {
+	s.Pairs += o.Pairs
+	s.Congruent += o.Congruent
+	s.Identical += o.Identical
+}
+
+// CongruentP returns the local congruence probability.
+func (s LocalStats) CongruentP() float64 {
+	if s.Pairs == 0 {
+		return 0
+	}
+	return float64(s.Congruent) / float64(s.Pairs)
+}
+
+// ExcludeIdenticalP returns the probability of a congruent-but-different
+// pair — Table 5's "Excluding Identical" column.
+func (s LocalStats) ExcludeIdenticalP() float64 {
+	if s.Pairs == 0 {
+		return 0
+	}
+	return float64(s.Congruent-s.Identical) / float64(s.Pairs)
+}
+
+// SampleLocal compares every pair of k-cell blocks of data whose start
+// offsets differ by at most window bytes (window = 512 reproduces the
+// paper's "within 2 packet lengths").  Blocks start on cell boundaries;
+// overlapping pairs are skipped so a block is never compared with
+// itself or a shifted self-image.
+func SampleLocal(data []byte, k, window int) LocalStats {
+	sums := CellSums(data)
+	var st LocalStats
+	maxCellDist := window / CellSize
+	for i := 0; i+k <= len(sums); i++ {
+		a := BlockSum(sums, i, k)
+		for j := i + k; j+k <= len(sums) && j-i <= maxCellDist; j++ {
+			st.Pairs++
+			b := BlockSum(sums, j, k)
+			if !onescomp.Congruent(a, b) {
+				continue
+			}
+			st.Congruent++
+			ab := data[i*CellSize : (i+k)*CellSize]
+			bb := data[j*CellSize : (j+k)*CellSize]
+			if bytes.Equal(ab, bb) {
+				st.Identical++
+			}
+		}
+	}
+	return st
+}

@@ -1,0 +1,198 @@
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"realsum/internal/inet"
+	"realsum/internal/onescomp"
+)
+
+func randData(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.Uint32())
+	}
+	return b
+}
+
+func TestCellSums(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	data := randData(rng, 48*5+17) // runt tail ignored
+	sums := CellSums(data)
+	if len(sums) != 5 {
+		t.Fatalf("%d cells, want 5", len(sums))
+	}
+	for i, s := range sums {
+		if want := inet.Sum(data[i*48 : (i+1)*48]); s != want {
+			t.Errorf("cell %d: %#04x != %#04x", i, s, want)
+		}
+	}
+}
+
+func TestBlockSumMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	data := randData(rng, 48*10)
+	sums := CellSums(data)
+	for k := 1; k <= 5; k++ {
+		for i := 0; i+k <= len(sums); i++ {
+			got := BlockSum(sums, i, k)
+			want := inet.Sum(data[i*48 : (i+k)*48])
+			if !onescomp.Congruent(got, want) {
+				t.Fatalf("k=%d i=%d: %#04x != %#04x", k, i, got, want)
+			}
+		}
+	}
+}
+
+func TestGlobalSamplerCounts(t *testing.T) {
+	g := NewGlobalSampler(2)
+	rng := rand.New(rand.NewPCG(3, 3))
+	g.AddFile(randData(rng, 48*9)) // 4 blocks of 2 cells
+	g.AddFile(randData(rng, 48*4)) // 2 blocks
+	if g.Blocks() != 6 {
+		t.Errorf("Blocks = %d, want 6", g.Blocks())
+	}
+	if g.Histogram().Total() != 6 {
+		t.Errorf("histogram total = %d", g.Histogram().Total())
+	}
+}
+
+func TestGlobalSamplerIdenticalDetection(t *testing.T) {
+	g := NewGlobalSampler(1)
+	// Two files of identical all-zero cells: every pair identical.
+	zero := make([]byte, 48*4)
+	g.AddFile(zero)
+	if p := g.IdenticalProbability(); math.Abs(p-1) > 1e-12 {
+		t.Errorf("identical probability = %v, want 1", p)
+	}
+	if p := g.CongruentProbability(); math.Abs(p-1) > 1e-12 {
+		t.Errorf("congruent probability = %v, want 1", p)
+	}
+	// Congruent-but-not-identical: cells of all 0x00 vs all 0xFF both
+	// sum to zero but differ byte-for-byte.
+	g2 := NewGlobalSampler(1)
+	mixed := make([]byte, 48*2)
+	for i := 48; i < 96; i++ {
+		mixed[i] = 0xFF
+	}
+	g2.AddFile(mixed)
+	if p := g2.CongruentProbability(); math.Abs(p-1) > 1e-12 {
+		t.Errorf("0x00/0xFF cells should be fully congruent: %v", p)
+	}
+	if p := g2.IdenticalProbability(); p != 0 {
+		t.Errorf("identical probability = %v, want 0", p)
+	}
+}
+
+func TestGlobalSamplerUniformBaseline(t *testing.T) {
+	g := NewGlobalSampler(1)
+	rng := rand.New(rand.NewPCG(4, 4))
+	for f := 0; f < 40; f++ {
+		g.AddFile(randData(rng, 48*600))
+	}
+	p := g.CongruentProbability()
+	want := 1.0 / 65535
+	if p < want*0.8 || p > want*1.5 {
+		t.Errorf("uniform congruence = %g, want ≈ %g", p, want)
+	}
+	if g.IdenticalProbability() > 1e-6 {
+		t.Errorf("random 48-byte blocks should almost never be identical")
+	}
+}
+
+func TestSampleLocalPairCounting(t *testing.T) {
+	// 6 cells, k=1, window 512 (≥ 10 cells): pairs = C(6,2) = 15.
+	rng := rand.New(rand.NewPCG(5, 5))
+	data := randData(rng, 48*6)
+	st := SampleLocal(data, 1, 512)
+	if st.Pairs != 15 {
+		t.Errorf("pairs = %d, want 15", st.Pairs)
+	}
+	// Window of 96 bytes: only j-i <= 2: pairs = 5+4 = 9.
+	st = SampleLocal(data, 1, 96)
+	if st.Pairs != 9 {
+		t.Errorf("pairs = %d, want 9", st.Pairs)
+	}
+	// k=2 blocks skip overlaps: i and j >= i+2.
+	st = SampleLocal(data, 2, 48*100)
+	if st.Pairs != 6 {
+		t.Errorf("k=2 pairs = %d, want 6", st.Pairs)
+	}
+}
+
+func TestSampleLocalDetectsStructure(t *testing.T) {
+	// A file of identical cells: all local pairs congruent and identical.
+	cell := make([]byte, 48)
+	for i := range cell {
+		cell[i] = byte(i)
+	}
+	var data []byte
+	for i := 0; i < 8; i++ {
+		data = append(data, cell...)
+	}
+	st := SampleLocal(data, 1, 512)
+	if st.Congruent != st.Pairs || st.Identical != st.Pairs {
+		t.Errorf("identical-cell file: %+v", st)
+	}
+	if st.ExcludeIdenticalP() != 0 {
+		t.Errorf("ExcludeIdenticalP = %v", st.ExcludeIdenticalP())
+	}
+	if st.CongruentP() != 1 {
+		t.Errorf("CongruentP = %v", st.CongruentP())
+	}
+}
+
+func TestSampleLocalCongruentNotIdentical(t *testing.T) {
+	// Cell A: zeros.  Cell B: 0xFFFF pairs — congruent sums, different
+	// bytes.
+	data := make([]byte, 96)
+	for i := 48; i < 96; i++ {
+		data[i] = 0xFF
+	}
+	st := SampleLocal(data, 1, 512)
+	if st.Pairs != 1 || st.Congruent != 1 || st.Identical != 0 {
+		t.Errorf("%+v", st)
+	}
+	if st.ExcludeIdenticalP() != 1 {
+		t.Errorf("ExcludeIdenticalP = %v", st.ExcludeIdenticalP())
+	}
+}
+
+func TestLocalStatsAdd(t *testing.T) {
+	a := LocalStats{Pairs: 10, Congruent: 3, Identical: 1}
+	a.Add(LocalStats{Pairs: 5, Congruent: 2, Identical: 2})
+	if a.Pairs != 15 || a.Congruent != 5 || a.Identical != 3 {
+		t.Errorf("%+v", a)
+	}
+	var empty LocalStats
+	if empty.CongruentP() != 0 || empty.ExcludeIdenticalP() != 0 {
+		t.Error("empty stats should report 0 probabilities")
+	}
+}
+
+func TestLocalityEffectOnRealisticData(t *testing.T) {
+	// The paper's Table 5 point: local congruence ≥ global congruence
+	// on structured data.  Build a file of "sections": each section
+	// repeats a small set of cells locally.
+	rng := rand.New(rand.NewPCG(6, 6))
+	var data []byte
+	for sect := 0; sect < 30; sect++ {
+		proto := randData(rng, 48)
+		for rep := 0; rep < 10; rep++ {
+			if rng.IntN(4) == 0 {
+				data = append(data, randData(rng, 48)...)
+			} else {
+				data = append(data, proto...)
+			}
+		}
+	}
+	local := SampleLocal(data, 1, 512)
+	g := NewGlobalSampler(1)
+	g.AddFile(data)
+	if local.CongruentP() < g.CongruentProbability() {
+		t.Errorf("local congruence %v < global %v on sectioned data",
+			local.CongruentP(), g.CongruentProbability())
+	}
+}

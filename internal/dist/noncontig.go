@@ -1,0 +1,76 @@
+package dist
+
+import (
+	"math/rand/v2"
+
+	"realsum/internal/onescomp"
+)
+
+// SampleLocalAnyCells compares pairs of k-cell blocks assembled from
+// *non-contiguous* cells within a locality window, which is how the
+// paper actually gathered its local samples ("In order to increase the
+// sample size for the local comparisons, we did not restrict ourselves
+// to contiguous blocks", §4.6).  For every window position it draws
+// perWindow random pairs of disjoint k-cell subsets of the window's
+// cells and tallies congruence and byte-identity.  Deterministic for a
+// given seed.
+func SampleLocalAnyCells(data []byte, k, window, perWindow int, seed uint64) LocalStats {
+	sums := CellSums(data)
+	var st LocalStats
+	cellsPerWindow := window / CellSize
+	if cellsPerWindow < 2*k || len(sums) < 2*k {
+		return st
+	}
+	rng := rand.New(rand.NewPCG(seed, uint64(k)<<32|uint64(window)))
+	idx := make([]int, 0, 2*k)
+	for start := 0; start+cellsPerWindow <= len(sums); start++ {
+		n := cellsPerWindow
+		for r := 0; r < perWindow; r++ {
+			// Draw 2k distinct cells of the window; the first k (in
+			// draw order) form block A, the rest block B.
+			idx = idx[:0]
+			for len(idx) < 2*k {
+				c := start + rng.IntN(n)
+				dup := false
+				for _, e := range idx {
+					if e == c {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					idx = append(idx, c)
+				}
+			}
+			var a, b uint16
+			for i := 0; i < k; i++ {
+				a = onescomp.Add(a, sums[idx[i]])
+				b = onescomp.Add(b, sums[idx[k+i]])
+			}
+			st.Pairs++
+			if !onescomp.Congruent(a, b) {
+				continue
+			}
+			st.Congruent++
+			if blocksIdentical(data, idx[:k], idx[k:]) {
+				st.Identical++
+			}
+		}
+	}
+	return st
+}
+
+// blocksIdentical reports whether the concatenation of cells ai equals
+// the concatenation of cells bi, cell-wise.
+func blocksIdentical(data []byte, ai, bi []int) bool {
+	for i := range ai {
+		a := data[ai[i]*CellSize : (ai[i]+1)*CellSize]
+		b := data[bi[i]*CellSize : (bi[i]+1)*CellSize]
+		for j := range a {
+			if a[j] != b[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,239 @@
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func randomPMF(rng *rand.Rand, m int, support int) PMF {
+	p := NewPMF(m)
+	var total float64
+	for i := 0; i < support; i++ {
+		v := rng.IntN(m)
+		w := rng.Float64() + 0.01
+		p.P[v] += w
+		total += w
+	}
+	for i := range p.P {
+		p.P[i] /= total
+	}
+	return p
+}
+
+func TestConvolveAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for trial := 0; trial < 30; trial++ {
+		m := 2 + rng.IntN(40)
+		a := randomPMF(rng, m, 1+rng.IntN(m))
+		b := randomPMF(rng, m, 1+rng.IntN(m))
+		got := a.Convolve(b)
+		want := NewPMF(m)
+		for x := 0; x < m; x++ {
+			for y := 0; y < m; y++ {
+				want.P[(x+y)%m] += a.P[x] * b.P[y]
+			}
+		}
+		for v := 0; v < m; v++ {
+			if math.Abs(got.P[v]-want.P[v]) > 1e-12 {
+				t.Fatalf("m=%d v=%d: %v != %v", m, v, got.P[v], want.P[v])
+			}
+		}
+	}
+}
+
+func TestConvolvePreservesMass(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	a := randomPMF(rng, 255, 50)
+	b := randomPMF(rng, 255, 50)
+	c := a.Convolve(b)
+	if m := c.TotalMass(); math.Abs(m-1) > 1e-9 {
+		t.Errorf("mass after convolve = %v", m)
+	}
+}
+
+func TestConvolvePowMatchesRepeated(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	p := randomPMF(rng, 100, 10)
+	byPow := p.ConvolvePow(5)
+	byRep := p
+	for i := 1; i < 5; i++ {
+		byRep = byRep.Convolve(p)
+	}
+	for v := 0; v < 100; v++ {
+		if math.Abs(byPow.P[v]-byRep.P[v]) > 1e-10 {
+			t.Fatalf("v=%d: pow %v != repeated %v", v, byPow.P[v], byRep.P[v])
+		}
+	}
+	one := p.ConvolvePow(1)
+	for v := range p.P {
+		if math.Abs(one.P[v]-p.P[v]) > 1e-12 {
+			t.Fatal("ConvolvePow(1) != identity")
+		}
+	}
+}
+
+func TestPointAndUniform(t *testing.T) {
+	u := UniformPMF(10)
+	if math.Abs(u.PMax()-0.1) > 1e-12 || math.Abs(u.PMin()-0.1) > 1e-12 {
+		t.Error("uniform PMF not flat")
+	}
+	pt := PointPMF(10, 13) // 13 mod 10 = 3
+	if pt.P[3] != 1 {
+		t.Error("PointPMF wraps wrong")
+	}
+	neg := PointPMF(10, -1)
+	if neg.P[9] != 1 {
+		t.Error("PointPMF negative wraps wrong")
+	}
+	// Convolving with a point mass shifts.
+	got := pt.Convolve(PointPMF(10, 4))
+	if got.P[7] != 1 {
+		t.Error("point+point shift wrong")
+	}
+}
+
+func TestFromHistogramRoundTrip(t *testing.T) {
+	h := NewHistogram()
+	h.AddN(100, 3)
+	h.AddN(0xFFFF, 1) // folds to 0
+	p := FromHistogram(h)
+	if p.M != 65535 {
+		t.Fatalf("M = %d", p.M)
+	}
+	if math.Abs(p.P[100]-0.75) > 1e-12 || math.Abs(p.P[0]-0.25) > 1e-12 {
+		t.Errorf("P[100]=%v P[0]=%v", p.P[100], p.P[0])
+	}
+	if m := p.TotalMass(); math.Abs(m-1) > 1e-12 {
+		t.Errorf("mass %v", m)
+	}
+}
+
+func TestSelfMatchAndOffsetMatch(t *testing.T) {
+	p := NewPMF(4)
+	p.P[0], p.P[1] = 0.75, 0.25
+	if got := p.SelfMatch(); math.Abs(got-(0.5625+0.0625)) > 1e-12 {
+		t.Errorf("SelfMatch = %v", got)
+	}
+	// Offset 1: P(X-Y=1) = P(1)P(0) = 0.1875
+	if got := p.OffsetMatch(1); math.Abs(got-0.1875) > 1e-12 {
+		t.Errorf("OffsetMatch(1) = %v", got)
+	}
+	if got := p.OffsetMatch(0); math.Abs(got-p.SelfMatch()) > 1e-12 {
+		t.Error("OffsetMatch(0) != SelfMatch")
+	}
+	if got := p.OffsetMatch(-3); math.Abs(got-p.OffsetMatch(1)) > 1e-12 {
+		t.Error("OffsetMatch should wrap negative offsets")
+	}
+}
+
+// --- Appendix lemmas as executable properties -----------------------
+
+// TestLemma1PMaxNonIncreasing: PMax(A+B) ≤ min(PMax(A), PMax(B)).
+func TestLemma1PMaxNonIncreasing(t *testing.T) {
+	rng := rand.New(rand.NewPCG(10, 1))
+	for trial := 0; trial < 50; trial++ {
+		m := 2 + rng.IntN(64)
+		a := randomPMF(rng, m, 1+rng.IntN(m))
+		b := randomPMF(rng, m, 1+rng.IntN(m))
+		c := a.Convolve(b)
+		limit := math.Min(a.PMax(), b.PMax())
+		if c.PMax() > limit+1e-12 {
+			t.Fatalf("PMax grew: %v > min(%v, %v)", c.PMax(), a.PMax(), b.PMax())
+		}
+	}
+}
+
+// TestLemma2PMinNonDecreasing: when both distributions have full
+// support, PMin(A+B) ≥ max(PMin(A), PMin(B)).
+func TestLemma2PMinNonDecreasing(t *testing.T) {
+	rng := rand.New(rand.NewPCG(10, 2))
+	for trial := 0; trial < 50; trial++ {
+		m := 2 + rng.IntN(64)
+		a, b := NewPMF(m), NewPMF(m)
+		var ta, tb float64
+		for v := 0; v < m; v++ {
+			a.P[v] = rng.Float64() + 0.01 // full support
+			b.P[v] = rng.Float64() + 0.01
+			ta += a.P[v]
+			tb += b.P[v]
+		}
+		for v := 0; v < m; v++ {
+			a.P[v] /= ta
+			b.P[v] /= tb
+		}
+		c := a.Convolve(b)
+		limit := math.Max(a.PMin(), b.PMin())
+		if c.PMin() < limit-1e-12 {
+			t.Fatalf("PMin shrank: %v < max(%v, %v)", c.PMin(), a.PMin(), b.PMin())
+		}
+	}
+}
+
+// TestCorollary3MoreUniformWithK: as k grows, the k-fold sum's PMax is
+// non-increasing and PMin non-decreasing.
+func TestCorollary3MoreUniformWithK(t *testing.T) {
+	rng := rand.New(rand.NewPCG(10, 3))
+	p := randomPMF(rng, 255, 40)
+	prev := p
+	for k := 2; k <= 16; k++ {
+		next := prev.Convolve(p)
+		if next.PMax() > prev.PMax()+1e-12 {
+			t.Fatalf("k=%d: PMax increased %v -> %v", k, prev.PMax(), next.PMax())
+		}
+		if next.PMin() < prev.PMin()-1e-12 {
+			t.Fatalf("k=%d: PMin decreased %v -> %v", k, prev.PMin(), next.PMin())
+		}
+		prev = next
+	}
+}
+
+// TestTheorem4CentralLimit: the k-fold sum tends to uniform — for large
+// k, PMax approaches 1/M.
+func TestTheorem4CentralLimit(t *testing.T) {
+	rng := rand.New(rand.NewPCG(10, 4))
+	// A decidedly non-uniform start with support generating ℤ/M (mass
+	// at 1 guarantees full mixing).
+	m := 97
+	p := NewPMF(m)
+	p.P[0], p.P[1], p.P[7] = 0.6, 0.3, 0.1
+	_ = rng
+	k256 := p.ConvolvePow(256)
+	if k256.PMax() > 1.5/float64(m) {
+		t.Errorf("after 256 additions PMax = %v, want near %v", k256.PMax(), 1.0/float64(m))
+	}
+	k4096 := p.ConvolvePow(4096)
+	if math.Abs(k4096.PMax()-1/float64(m)) > 0.05/float64(m) {
+		t.Errorf("after 4096 additions PMax = %v, want ≈ %v", k4096.PMax(), 1.0/float64(m))
+	}
+}
+
+// TestLemma5UniformTermDominates: if even one term of a sum is uniform,
+// the sum is uniform.
+func TestLemma5UniformTermDominates(t *testing.T) {
+	rng := rand.New(rand.NewPCG(10, 5))
+	skewed := randomPMF(rng, 64, 5)
+	sum := skewed.Convolve(UniformPMF(64))
+	for v, pv := range sum.P {
+		if math.Abs(pv-1.0/64) > 1e-12 {
+			t.Fatalf("sum not uniform at %d: %v", v, pv)
+		}
+	}
+}
+
+// TestLemma9EqualBeatsOffset: P(X = Y) ≥ P(X − Y ≡ c) for every c —
+// the inequality behind both Fletcher's advantage (§5.2) and trailer
+// checksums (§5.3).
+func TestLemma9EqualBeatsOffset(t *testing.T) {
+	rng := rand.New(rand.NewPCG(10, 6))
+	for trial := 0; trial < 30; trial++ {
+		m := 2 + rng.IntN(128)
+		p := randomPMF(rng, m, 1+rng.IntN(m))
+		eq := p.SelfMatch()
+		for c := 1; c < m; c++ {
+			if off := p.OffsetMatch(c); off > eq+1e-12 {
+				t.Fatalf("m=%d c=%d: offset match %v > self match %v", m, c, off, eq)
+			}
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package dist
+
+// Sparse is a census over an arbitrary (up to 64-bit) checksum space,
+// for algorithms whose value space is too large for a dense Histogram —
+// the Adler-32 and CRC-32 cell distributions of the extension
+// experiments.
+type Sparse struct {
+	counts map[uint64]uint64
+	total  uint64
+}
+
+// NewSparse returns an empty census.
+func NewSparse() *Sparse {
+	return &Sparse{counts: make(map[uint64]uint64)}
+}
+
+// Add records one observation.
+func (s *Sparse) Add(v uint64) {
+	s.counts[v]++
+	s.total++
+}
+
+// Total returns the number of observations.
+func (s *Sparse) Total() uint64 { return s.total }
+
+// Distinct returns the number of distinct values observed.
+func (s *Sparse) Distinct() int { return len(s.counts) }
+
+// PMax returns the most common value and its probability.
+func (s *Sparse) PMax() (uint64, float64) {
+	if s.total == 0 {
+		return 0, 0
+	}
+	var bestV, bestC uint64
+	first := true
+	for v, c := range s.counts {
+		if first || c > bestC || (c == bestC && v < bestV) {
+			bestV, bestC = v, c
+			first = false
+		}
+	}
+	return bestV, float64(bestC) / float64(s.total)
+}
+
+// CollisionProbability estimates P(two independent draws equal) with
+// the unbiased pair estimator, like Histogram.CollisionProbability.
+func (s *Sparse) CollisionProbability() float64 {
+	if s.total < 2 {
+		return 0
+	}
+	var sum float64
+	for _, c := range s.counts {
+		if c > 1 {
+			sum += float64(c) * float64(c-1)
+		}
+	}
+	return sum / (float64(s.total) * float64(s.total-1))
+}

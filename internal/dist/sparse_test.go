@@ -1,0 +1,58 @@
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestSparseBasics(t *testing.T) {
+	s := NewSparse()
+	if s.Total() != 0 || s.Distinct() != 0 || s.CollisionProbability() != 0 {
+		t.Error("empty sparse census misbehaves")
+	}
+	if _, p := s.PMax(); p != 0 {
+		t.Error("empty PMax")
+	}
+	s.Add(5)
+	s.Add(5)
+	s.Add(9)
+	if s.Total() != 3 || s.Distinct() != 2 {
+		t.Errorf("total %d distinct %d", s.Total(), s.Distinct())
+	}
+	v, p := s.PMax()
+	if v != 5 || math.Abs(p-2.0/3) > 1e-12 {
+		t.Errorf("PMax = (%d, %v)", v, p)
+	}
+	// Pairs: {5,5} collide; 2/(3·2) = 1/3.
+	if got := s.CollisionProbability(); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("collision = %v", got)
+	}
+}
+
+func TestSparsePMaxTieBreak(t *testing.T) {
+	s := NewSparse()
+	s.Add(9)
+	s.Add(2)
+	v, _ := s.PMax()
+	if v != 2 {
+		t.Errorf("tie should break to smaller value, got %d", v)
+	}
+}
+
+func TestSparseMatchesDenseOnSmallSpace(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	s := NewSparse()
+	h := NewHistogram()
+	for i := 0; i < 50000; i++ {
+		v := uint16(rng.Uint32()) & 0x0FFF // keep off the 0xFFFF alias
+		s.Add(uint64(v))
+		h.Add(v)
+	}
+	if got, want := s.CollisionProbability(), h.CollisionProbability(); math.Abs(got-want) > 1e-15 {
+		t.Errorf("sparse %v != dense %v", got, want)
+	}
+	if s.Distinct() != h.Distinct() {
+		t.Errorf("distinct %d != %d", s.Distinct(), h.Distinct())
+	}
+}

@@ -1,0 +1,162 @@
+// Package errmodel implements the alternative error models §7 of the
+// paper discusses alongside the splice model: contiguous burst errors,
+// independent bit flips, and substitution of data by uniform garbage.
+// It provides a Monte-Carlo harness for measuring how often a given
+// integrity check detects each kind of damage, which the benchmark
+// suite uses to confirm the classical guarantees (a w-bit CRC catches
+// every burst shorter than w+1 bits; the TCP checksum catches every
+// burst of 15 bits or less; random substitutions on uniform data are
+// missed at ≈2^-w).
+package errmodel
+
+import (
+	"math/rand/v2"
+
+	"realsum/internal/crc"
+	"realsum/internal/fletcher"
+	"realsum/internal/inet"
+	"realsum/internal/onescomp"
+)
+
+// Model mutates a copy of data and reports what it did.  Implementations
+// must leave the original untouched.
+type Model interface {
+	// Corrupt returns a damaged copy of data.  It must change at least
+	// one byte.
+	Corrupt(rng *rand.Rand, data []byte) []byte
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// Burst flips a contiguous run of bits: the first and last bit of the
+// run are always flipped (so the burst length is exact) and interior
+// bits flip with probability ½.
+type Burst struct {
+	// Bits is the burst length in bits (≥ 1).
+	Bits int
+}
+
+// Name implements Model.
+func (b Burst) Name() string { return "burst" }
+
+// Corrupt implements Model.
+func (b Burst) Corrupt(rng *rand.Rand, data []byte) []byte {
+	out := append([]byte(nil), data...)
+	n := len(out) * 8
+	if b.Bits < 1 || b.Bits > n {
+		panic("errmodel: burst length out of range")
+	}
+	start := rng.IntN(n - b.Bits + 1)
+	flip := func(bit int) { out[bit/8] ^= 0x80 >> uint(bit%8) }
+	flip(start)
+	if b.Bits > 1 {
+		flip(start + b.Bits - 1)
+		for i := 1; i < b.Bits-1; i++ {
+			if rng.Uint32()&1 == 1 {
+				flip(start + i)
+			}
+		}
+	}
+	return out
+}
+
+// BitFlips flips K distinct random bits.
+type BitFlips struct {
+	K int
+}
+
+// Name implements Model.
+func (f BitFlips) Name() string { return "bitflips" }
+
+// Corrupt implements Model.
+func (f BitFlips) Corrupt(rng *rand.Rand, data []byte) []byte {
+	out := append([]byte(nil), data...)
+	n := len(out) * 8
+	if f.K < 1 || f.K > n {
+		panic("errmodel: flip count out of range")
+	}
+	seen := make(map[int]bool, f.K)
+	for len(seen) < f.K {
+		bit := rng.IntN(n)
+		if seen[bit] {
+			continue
+		}
+		seen[bit] = true
+		out[bit/8] ^= 0x80 >> uint(bit%8)
+	}
+	return out
+}
+
+// Garbage replaces a random span of Bytes bytes with uniform random
+// bytes (guaranteed to differ from the original span) — §7's "data is
+// replaced by garbage" model.
+type Garbage struct {
+	Bytes int
+}
+
+// Name implements Model.
+func (g Garbage) Name() string { return "garbage" }
+
+// Corrupt implements Model.
+func (g Garbage) Corrupt(rng *rand.Rand, data []byte) []byte {
+	out := append([]byte(nil), data...)
+	if g.Bytes < 1 || g.Bytes > len(out) {
+		panic("errmodel: garbage span out of range")
+	}
+	start := rng.IntN(len(out) - g.Bytes + 1)
+	for {
+		changed := false
+		for i := start; i < start+g.Bytes; i++ {
+			out[i] = byte(rng.Uint32())
+			if out[i] != data[i] {
+				changed = true
+			}
+		}
+		if changed {
+			return out
+		}
+	}
+}
+
+// Check is an integrity check: it digests a buffer to a comparable
+// value.  An error is "missed" when the damaged buffer digests equal to
+// the original.
+type Check struct {
+	Name   string
+	Digest func(data []byte) uint64
+}
+
+// TCPCheck is the Internet checksum as a Check.
+func TCPCheck() Check {
+	return Check{Name: "TCP", Digest: func(d []byte) uint64 { return uint64(onescomp.Normalize(inet.Sum(d))) }}
+}
+
+// FletcherCheck returns the Fletcher checksum (mod 255 or 256) as a
+// Check.
+func FletcherCheck(m fletcher.Mod) Check {
+	name := "F-255"
+	if m == fletcher.Mod256 {
+		name = "F-256"
+	}
+	return Check{Name: name, Digest: func(d []byte) uint64 { return uint64(m.Sum(d).Checksum16()) }}
+}
+
+// CRCCheck returns a CRC algorithm as a Check.
+func CRCCheck(p crc.Params) Check {
+	t := crc.New(p)
+	return Check{Name: p.Name, Digest: t.Checksum}
+}
+
+// Measure runs trials rounds of: corrupt data with model, test whether
+// check's digest changed.  It returns the number of undetected
+// corruptions.  Deterministic for a given seed.
+func Measure(check Check, model Model, data []byte, trials int, seed uint64) (missed int) {
+	rng := rand.New(rand.NewPCG(seed, 0xE44))
+	orig := check.Digest(data)
+	for i := 0; i < trials; i++ {
+		if check.Digest(model.Corrupt(rng, data)) == orig {
+			missed++
+		}
+	}
+	return missed
+}

@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"fmt"
+
+	"realsum/internal/adler"
+	"realsum/internal/corpus"
+	"realsum/internal/crc"
+	"realsum/internal/dist"
+	"realsum/internal/fletcher"
+	"realsum/internal/inet"
+	"realsum/internal/ipfrag"
+	"realsum/internal/lossim"
+	"realsum/internal/report"
+	"realsum/internal/sim"
+	"realsum/internal/tcpip"
+)
+
+// The experiments in this file go beyond the paper's evaluation along
+// the directions its §7 sketches: the end-to-end consequence of switch
+// discard policies, and how the checksum generation that followed
+// (Adler-32) fares on the same data.
+
+// EndToEndRow is one loss policy's receiver-side outcome.
+type EndToEndRow struct {
+	Policy string
+	Stats  lossim.Stats
+}
+
+// EndToEnd transmits a zero-heavy corpus stream through three loss
+// policies at equal underlying severity and reports what the receiver
+// saw — §7's argument that Early Packet Discard removes the splice
+// threat entirely, executed.
+func EndToEnd(cfg Config) []EndToEndRow {
+	p := corpus.SICSOpt().Scale(cfg.scale() * 0.3)
+	fs := p.Build()
+	opts := tcpip.BuildOptions{}
+	flow := tcpip.NewLoopbackFlow(opts)
+	var packets [][]byte
+	fs.Walk(func(path string, data []byte) error {
+		for off := 0; off < len(data); off += 256 {
+			end := off + 256
+			if end > len(data) {
+				end = len(data)
+			}
+			packets = append(packets, flow.NextPacket(nil, data[off:end]))
+		}
+		return nil
+	})
+
+	const cellLoss = 0.03
+	// A 256-byte packet spans 7 cells; EPD's whole-packet probability
+	// matching the same per-cell process is 1−(1−p)^7.
+	pktLoss := 1.0
+	for i := 0; i < 7; i++ {
+		pktLoss *= 1 - cellLoss
+	}
+	pktLoss = 1 - pktLoss
+
+	var out []EndToEndRow
+	for _, pol := range []lossim.Policy{
+		lossim.RandomLoss{P: cellLoss},
+		&lossim.PPD{P: cellLoss},
+		&lossim.EPD{PacketP: pktLoss},
+	} {
+		out = append(out, EndToEndRow{
+			Policy: pol.Name(),
+			Stats:  lossim.Run(packets, pol, opts, 0xE2E),
+		})
+	}
+	return out
+}
+
+// EndToEndReport renders the policy comparison.
+func EndToEndReport(rows []EndToEndRow) string {
+	t := report.Table{
+		Title: "§7 extension: receiver outcomes under cell-loss policies (3% cell loss)",
+		Headers: []string{"policy", "sent", "intact", "clean-lost",
+			"framing", "CRC", "header", "checksum", "undetected"},
+	}
+	for _, r := range rows {
+		s := r.Stats
+		t.AddRow(r.Policy,
+			report.Count(s.PacketsSent), report.Count(s.Intact), report.Count(s.CleanLost),
+			report.Count(s.DetectedFraming), report.Count(s.DetectedCRC),
+			report.Count(s.DetectedHeader), report.Count(s.DetectedChecksum),
+			report.Count(s.Undetected))
+	}
+	return t.Render()
+}
+
+// AdlerRow compares one algorithm's cell-level self-collision
+// probability over the Stanford corpus.
+type AdlerRow struct {
+	Algorithm string
+	Bits      int
+	Collision float64
+	Uniform   float64
+}
+
+// AdlerComparison extends Figure 3's distribution study with the
+// 32-bit generation: Adler-32 and CRC-32 over the same 48-byte cells
+// as the 16-bit sums.  The 16-bit checks collide ~10× above their
+// uniform floor; the 32-bit checks have so much head-room that real
+// data collisions come almost entirely from identical cells.
+func AdlerComparison(cfg Config) []AdlerRow {
+	fs := corpus.StanfordU1().Scale(cfg.scale()).Build()
+	crc32tab := crc.New(crc.CRC32)
+
+	tcpS := dist.NewSparse()
+	f255S := dist.NewSparse()
+	f256S := dist.NewSparse()
+	adlerS := dist.NewSparse()
+	crcS := dist.NewSparse()
+
+	fs.Walk(func(path string, data []byte) error {
+		for off := 0; off+dist.CellSize <= len(data); off += dist.CellSize {
+			cell := data[off : off+dist.CellSize]
+			tcpS.Add(uint64(cellTCPSum(cell)))
+			f255S.Add(uint64(fletcher255(cell)))
+			f256S.Add(uint64(fletcher256(cell)))
+			adlerS.Add(uint64(adler.Checksum(cell)))
+			crcS.Add(crc32tab.Checksum(cell))
+		}
+		return nil
+	})
+
+	return []AdlerRow{
+		{"IP/TCP", 16, tcpS.CollisionProbability(), 1.0 / 65535},
+		{"Fletcher-255", 16, f255S.CollisionProbability(), 1.0 / (255 * 255)},
+		{"Fletcher-256", 16, f256S.CollisionProbability(), 1.0 / 65536},
+		{"Adler-32", 32, adlerS.CollisionProbability(), adlerUniform()},
+		{"CRC-32", 32, crcS.CollisionProbability(), 1.0 / (1 << 32)},
+	}
+}
+
+// adlerUniform is Adler-32's effective uniform collision floor for
+// 48-byte inputs: with so few bytes the A sum spans only ~48·255
+// values and B a similarly bounded range, so the usable space is far
+// smaller than 2^32 (Adler's known weakness on short inputs).
+func adlerUniform() float64 {
+	// A ∈ [1, 1+48·255], B bounded by ~48·(1+48·255)/… — rather than
+	// model it, report the 2^-32 floor; the measured value's distance
+	// from it is the point.
+	return 1.0 / (1 << 32)
+}
+
+func cellTCPSum(cell []byte) uint16  { return inet.Sum(cell) }
+func fletcher255(cell []byte) uint16 { return fletcher.Mod255.Sum(cell).Checksum16() }
+func fletcher256(cell []byte) uint16 { return fletcher.Mod256.Sum(cell).Checksum16() }
+
+// FragSwapRow compares one checksum's miss rate under the same-offset
+// fragment-substitution model against its AAL5-splice miss rate.
+type FragSwapRow struct {
+	Algorithm    string
+	FragMissRate float64 // same-offset fragment swaps (ipfrag model)
+	AAL5MissRate float64 // cell splices on the same corpus (Table 8 model)
+}
+
+// FragSwap runs the abstract's fragmentation-and-reassembly error
+// model: fragments of adjacent packets substituted at equal offsets
+// (an IP-ID collision in a buggy reassembler).  Because substituted
+// data keeps its own offset, Fletcher loses the *inter-fragment*
+// colouring that drives its AAL5-splice advantage — though it keeps
+// intra-fragment positional sensitivity (two fragments with equal byte
+// sums still differ in the weighted term unless their bytes agree
+// position-wise), so it does not fully degenerate to the TCP
+// condition.  The reproducible headline is the TCP one: same-offset
+// swaps on real data are missed at rates far above uniform, just like
+// cell splices.
+func FragSwap(cfg Config) []FragSwapRow {
+	p := corpus.SICSOpt().Scale(cfg.scale() * 0.5)
+	var out []FragSwapRow
+	for _, alg := range []tcpip.ChecksumAlg{tcpip.AlgTCP, tcpip.AlgFletcher256} {
+		opts := tcpip.BuildOptions{Alg: alg}
+
+		// Fragment-swap model: packetize at 512 bytes, fragment at a
+		// 96-byte MTU, swap same-shape fragments.
+		var frag ipfrag.SwapResult
+		flow := tcpip.NewLoopbackFlow(opts)
+		var prev []byte
+		p.Build().Walk(func(path string, data []byte) error {
+			prev = nil
+			for off := 0; off < len(data); off += 512 {
+				end := off + 512
+				if end > len(data) {
+					end = len(data)
+				}
+				pkt := flow.NextPacket(nil, data[off:end])
+				if prev != nil {
+					r, err := ipfrag.SwapPair(prev, pkt, 96, opts)
+					if err != nil {
+						return err
+					}
+					frag.Add(r)
+				}
+				prev = pkt
+			}
+			return nil
+		})
+
+		// AAL5 splice model on the same corpus for contrast.
+		res, err := sim.Run(p.Build(), p.Name, sim.Options{Build: opts})
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, FragSwapRow{
+			Algorithm:    alg.String(),
+			FragMissRate: frag.MissRate(),
+			AAL5MissRate: res.MissRate(res.MissedByChecksum),
+		})
+	}
+	return out
+}
+
+// FragSwapReport renders the comparison.
+func FragSwapReport(rows []FragSwapRow) string {
+	t := report.Table{
+		Title:   "Abstract's frag-reassembly model: same-offset swaps vs AAL5 splices (sics:/opt)",
+		Headers: []string{"algorithm", "frag-swap miss", "AAL5-splice miss"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Algorithm, report.Percent(r.FragMissRate), report.Percent(r.AAL5MissRate))
+	}
+	return t.Render() + "\nsame-offset substitution removes the inter-fragment colouring that cell\n" +
+		"splices exhibit; the TCP checksum misses both models at rates far above\n" +
+		"the uniform 0.00153%.\n"
+}
+
+// AdlerReport renders the comparison.
+func AdlerReport(rows []AdlerRow) string {
+	t := report.Table{
+		Title:   "Extension: cell-level collision probability, 16-bit vs 32-bit checks (smeg:/u1)",
+		Headers: []string{"algorithm", "bits", "measured collision", "uniform floor"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Algorithm, fmt.Sprintf("%d", r.Bits),
+			report.Percent(r.Collision), report.Percent(r.Uniform))
+	}
+	return t.Render()
+}

@@ -1,0 +1,438 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"realsum/internal/corpus"
+	"realsum/internal/dist"
+	"realsum/internal/report"
+	"realsum/internal/sim"
+	"realsum/internal/stats"
+	"realsum/internal/tcpip"
+)
+
+// table6Systems are the four file systems Table 6 compares.
+func table6Systems() []corpus.Profile {
+	return []corpus.Profile{
+		corpus.StanfordU1(), corpus.SICSOpt(), corpus.SICSSrc(1), corpus.SICSSrc(2),
+	}
+}
+
+// Table6System holds one system's predicted-vs-actual comparison for
+// substitution lengths k = 1..4.
+type Table6System struct {
+	System string
+	K      []int
+	// PredictedGlobal is the i.i.d. global model (Table 4's column).
+	PredictedGlobal []float64
+	// MeasuredGlobal is the measured global congruence.
+	MeasuredGlobal []float64
+	// LocalCongruent and ExcludeIdentical restrict to the 512-byte
+	// window.
+	LocalCongruent   []float64
+	ExcludeIdentical []float64
+	// Corrected applies the §5.4 cell-colouring factor
+	// C(n−2,k−1)/C(n−1,k−1) = (n−k)/(n−1) for n = 7.
+	Corrected []float64
+	// Actual is the splice simulation's per-length miss rate.
+	Actual []float64
+}
+
+// Table6 runs the full predicted-vs-actual comparison.
+func Table6(cfg Config) []Table6System {
+	var out []Table6System
+	for _, p := range table6Systems() {
+		fs := p.Scale(cfg.scale()).Build()
+
+		single, err := sim.CollectGlobal(fs, 1)
+		if err != nil {
+			panic(err)
+		}
+		p1 := dist.FromHistogram(single.Histogram())
+		pk := p1
+
+		res, err := sim.Run(p.Scale(cfg.scale()).Build(), p.Name, sim.Options{})
+		if err != nil {
+			panic(err)
+		}
+
+		sys := Table6System{System: p.Name}
+		const n = 7 // cells per 256-byte packet
+		for k := 1; k <= 4; k++ {
+			g, err := sim.CollectGlobal(fs, k)
+			if err != nil {
+				panic(err)
+			}
+			loc, err := sim.CollectLocal(fs, k, 512)
+			if err != nil {
+				panic(err)
+			}
+			excl := loc.ExcludeIdenticalP()
+			factor := float64(n-k) / float64(n-1)
+			var actual float64
+			if res.RemainingByLen[k] > 0 {
+				actual = float64(res.MissedByLen[k]) / float64(res.RemainingByLen[k])
+			}
+			sys.K = append(sys.K, k)
+			sys.PredictedGlobal = append(sys.PredictedGlobal, pk.SelfMatch())
+			sys.MeasuredGlobal = append(sys.MeasuredGlobal, g.CongruentProbability())
+			sys.LocalCongruent = append(sys.LocalCongruent, loc.CongruentP())
+			sys.ExcludeIdentical = append(sys.ExcludeIdentical, excl)
+			sys.Corrected = append(sys.Corrected, excl*factor)
+			sys.Actual = append(sys.Actual, actual)
+			if k < 4 {
+				pk = pk.Convolve(p1)
+			}
+		}
+		out = append(out, sys)
+	}
+	return out
+}
+
+// Table6Report renders Table 6.
+func Table6Report(systems []Table6System) string {
+	var b strings.Builder
+	b.WriteString("Table 6: Checksum failures on real data — probability (%) of congruence for k-cell blocks\n")
+	for _, s := range systems {
+		t := report.Table{
+			Title:   s.System,
+			Headers: []string{"k", "Predicted", "Meas.Global", "Local Congruence", "Exclude Identical", "Corrected (§5.4)", "Actual"},
+		}
+		for i, k := range s.K {
+			t.AddRow(fmt.Sprintf("%d", k),
+				report.Percent(s.PredictedGlobal[i]),
+				report.Percent(s.MeasuredGlobal[i]),
+				report.Percent(s.LocalCongruent[i]),
+				report.Percent(s.ExcludeIdentical[i]),
+				report.Percent(s.Corrected[i]),
+				report.Percent(s.Actual[i]))
+		}
+		b.WriteString(t.Render())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Table7 reproduces the compression experiment: the /opt system before
+// and after LZW compression.
+func Table7(cfg Config) (plain, compressed sim.Result) {
+	p := corpus.SICSOpt().Scale(cfg.scale())
+	opt := sim.Options{CheckCRC: true}
+	var err error
+	plain, err = sim.Run(p.Build(), p.Name, opt)
+	if err != nil {
+		panic(err)
+	}
+	opt.Compress = true
+	compressed, err = sim.Run(p.Build(), p.Name+" compressed", opt)
+	if err != nil {
+		panic(err)
+	}
+	return plain, compressed
+}
+
+// Table7Report renders Table 7 with the uniform expectation alongside.
+func Table7Report(plain, compressed sim.Result) string {
+	t := report.Table{
+		Title:   "Table 7: CRC and TCP Checksum Results, Compressed Data (256-byte packets)",
+		Headers: []string{"system", "Remaining", "Missed by TCP", "rate", "uniform expectation"},
+	}
+	for _, r := range []sim.Result{plain, compressed} {
+		t.AddRow(r.System, report.Count(r.Remaining),
+			report.Count(r.MissedByChecksum),
+			report.Percent(r.MissRate(r.MissedByChecksum)),
+			report.Percent(stats.UniformMissRate(16)))
+	}
+	return t.Render()
+}
+
+// table8Systems are the five systems Table 8 and Table 9 compare.
+func table8Systems() []corpus.Profile {
+	return []corpus.Profile{
+		corpus.SICSOpt(), corpus.StanfordU1(), corpus.StanfordUsrLocal(),
+		corpus.SICSSrc(1), corpus.SICSSrc(2),
+	}
+}
+
+// Table8Row is one system's three-way checksum comparison.
+type Table8Row struct {
+	System string
+	TCP    sim.Result
+	F255   sim.Result
+	F256   sim.Result
+}
+
+// Table8 runs the Fletcher comparison.
+func Table8(cfg Config) []Table8Row {
+	var out []Table8Row
+	for _, p := range table8Systems() {
+		row := Table8Row{System: p.Name}
+		for _, alg := range []tcpip.ChecksumAlg{tcpip.AlgTCP, tcpip.AlgFletcher255, tcpip.AlgFletcher256} {
+			res, err := sim.Run(p.Scale(cfg.scale()).Build(), p.Name,
+				sim.Options{Build: tcpip.BuildOptions{Alg: alg}})
+			if err != nil {
+				panic(err)
+			}
+			switch alg {
+			case tcpip.AlgTCP:
+				row.TCP = res
+			case tcpip.AlgFletcher255:
+				row.F255 = res
+			case tcpip.AlgFletcher256:
+				row.F256 = res
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// Table8Report renders Table 8.
+func Table8Report(rows []Table8Row) string {
+	t := report.Table{
+		Title:   "Table 8: Fletcher's Checksum Results (256-byte packets)",
+		Headers: []string{"System", "by", "Missed", "% splices"},
+	}
+	for _, r := range rows {
+		for _, e := range []struct {
+			name string
+			res  sim.Result
+		}{{"TCP", r.TCP}, {"F-255", r.F255}, {"F-256", r.F256}} {
+			t.AddRow(r.System, e.name, report.Count(e.res.MissedByChecksum),
+				report.Percent(e.res.MissRate(e.res.MissedByChecksum)))
+		}
+		t.AddRow("", "", "", "")
+	}
+	return t.Render()
+}
+
+// Table9Row compares header vs trailer checksum placement.
+type Table9Row struct {
+	System  string
+	Header  sim.Result
+	Trailer sim.Result
+}
+
+// Table9 runs the trailer-checksum experiment.
+func Table9(cfg Config) []Table9Row {
+	var out []Table9Row
+	for _, p := range table8Systems() {
+		hdr, err := sim.Run(p.Scale(cfg.scale()).Build(), p.Name, sim.Options{})
+		if err != nil {
+			panic(err)
+		}
+		trl, err := sim.Run(p.Scale(cfg.scale()).Build(), p.Name,
+			sim.Options{Build: tcpip.BuildOptions{Placement: tcpip.PlacementTrailer}})
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, Table9Row{System: p.Name, Header: hdr, Trailer: trl})
+	}
+	return out
+}
+
+// Table9Report renders Table 9.
+func Table9Report(rows []Table9Row) string {
+	t := report.Table{
+		Title:   "Table 9: Trailer Checksum Results (256-byte packets)",
+		Headers: []string{"Filesystem", "TCP Misses", "Trailer Misses", "Uniform"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.System,
+			report.Percent(r.Header.MissRate(r.Header.MissedByChecksum)),
+			report.Percent(r.Trailer.MissRate(r.Trailer.MissedByChecksum)),
+			report.Percent(stats.UniformMissRate(16)))
+	}
+	return t.Render()
+}
+
+// Table10 compares header vs trailer false positives/negatives on the
+// Stanford /u1 system.
+type Table10Data struct {
+	Header  sim.Result
+	Trailer sim.Result
+}
+
+// Table10 runs the 2×2 comparison.
+func Table10(cfg Config) Table10Data {
+	p := corpus.StanfordU1()
+	hdr, err := sim.Run(p.Scale(cfg.scale()).Build(), p.Name, sim.Options{})
+	if err != nil {
+		panic(err)
+	}
+	trl, err := sim.Run(p.Scale(cfg.scale()).Build(), p.Name,
+		sim.Options{Build: tcpip.BuildOptions{Placement: tcpip.PlacementTrailer}})
+	if err != nil {
+		panic(err)
+	}
+	return Table10Data{Header: hdr, Trailer: trl}
+}
+
+// Table10Report renders Table 10.
+func Table10Report(d Table10Data) string {
+	t := report.Table{
+		Title:   "Table 10: Header vs Trailer Checksum Failure Rates (smeg:/u1)",
+		Headers: []string{"False Positive/Negative", "header", "trailer"},
+	}
+	t.AddRow("Fails checksum, data identical",
+		report.Count(d.Header.IdenticalFailedChecksum),
+		report.Count(d.Trailer.IdenticalFailedChecksum))
+	t.AddRow("Passes checksum, data changed",
+		report.Count(d.Header.MissedByChecksum),
+		report.Count(d.Trailer.MissedByChecksum))
+	hID := d.Header.Counts
+	tID := d.Trailer.Counts
+	t.AddRow("Fails checksum, data identical (%)",
+		report.Percent(ratio(hID.IdenticalFailedChecksum, hID.Total)),
+		report.Percent(ratio(tID.IdenticalFailedChecksum, tID.Total)))
+	t.AddRow("Passes checksum, data changed (%)",
+		report.Percent(hID.MissRate(hID.MissedByChecksum)),
+		report.Percent(tID.MissRate(tID.MissedByChecksum)))
+	return t.Render()
+}
+
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// EffectiveBitsRow is the §7 headline computation for one system.
+type EffectiveBitsRow struct {
+	System        string
+	MissRate      float64
+	EffectiveBits float64
+}
+
+// EffectiveBits computes, for each Table 1–3 system, how many bits of
+// uniform-data CRC the measured TCP miss rate corresponds to.
+func EffectiveBits(results []sim.Result) []EffectiveBitsRow {
+	var out []EffectiveBitsRow
+	for _, r := range results {
+		rate := r.MissRate(r.MissedByChecksum)
+		out = append(out, EffectiveBitsRow{
+			System:        r.System,
+			MissRate:      rate,
+			EffectiveBits: stats.EffectiveBits(rate),
+		})
+	}
+	return out
+}
+
+// EffectiveBitsReport renders the §7 comparison.
+func EffectiveBitsReport(rows []EffectiveBitsRow) string {
+	t := report.Table{
+		Title:   "§7: Effective strength of the 16-bit TCP checksum over real data",
+		Headers: []string{"System", "miss rate", "effective bits", "10-bit CRC (uniform)"},
+	}
+	for _, r := range rows {
+		eb := "inf"
+		if !math.IsInf(r.EffectiveBits, 1) {
+			eb = fmt.Sprintf("%.1f", r.EffectiveBits)
+		}
+		t.AddRow(r.System, report.Percent(r.MissRate), eb, report.Percent(stats.UniformMissRate(10)))
+	}
+	return t.Render()
+}
+
+// Ablations runs the §6.2 and §6.3 checks over the Stanford profile.
+type AblationData struct {
+	Baseline     sim.Result // filled IP header, inverted checksum
+	ZeroIPHeader sim.Result // §6.2 artifact reproduced
+	NoInvert     sim.Result // §6.3 non-inverted checksum
+}
+
+// Ablations runs all three configurations on the same corpus.
+func Ablations(cfg Config) AblationData {
+	p := corpus.SICSOpt()
+	base, err := sim.Run(p.Scale(cfg.scale()).Build(), p.Name, sim.Options{})
+	if err != nil {
+		panic(err)
+	}
+	zero, err := sim.Run(p.Scale(cfg.scale()).Build(), p.Name,
+		sim.Options{Build: tcpip.BuildOptions{ZeroIPHeader: true}})
+	if err != nil {
+		panic(err)
+	}
+	noinv, err := sim.Run(p.Scale(cfg.scale()).Build(), p.Name,
+		sim.Options{Build: tcpip.BuildOptions{NoInvert: true}})
+	if err != nil {
+		panic(err)
+	}
+	return AblationData{Baseline: base, ZeroIPHeader: zero, NoInvert: noinv}
+}
+
+// AblationsReport renders the ablation comparison.
+func AblationsReport(d AblationData) string {
+	t := report.Table{
+		Title:   "§6.2/§6.3 ablations (sics.se:/opt)",
+		Headers: []string{"configuration", "Remaining", "Missed by TCP", "rate"},
+	}
+	for _, e := range []struct {
+		name string
+		res  sim.Result
+	}{
+		{"baseline (filled IP header, inverted)", d.Baseline},
+		{"zeroed IP header (SIGCOMM '95 artifact)", d.ZeroIPHeader},
+		{"non-inverted checksum", d.NoInvert},
+	} {
+		t.AddRow(e.name, report.Count(e.res.Remaining),
+			report.Count(e.res.MissedByChecksum),
+			report.Percent(e.res.MissRate(e.res.MissedByChecksum)))
+	}
+	return t.Render()
+}
+
+// Pathological runs the §5.5 pathological corpora under all three
+// checksums.
+type PathologicalRow struct {
+	Corpus string
+	TCP    sim.Result
+	F255   sim.Result
+	F256   sim.Result
+}
+
+// Pathological measures the §5.5 cases.
+func Pathological(cfg Config) []PathologicalRow {
+	var out []PathologicalRow
+	for _, p := range []corpus.Profile{
+		corpus.PathologicalPBM(), corpus.PathologicalPSHex(), corpus.PathologicalGmon(),
+	} {
+		row := PathologicalRow{Corpus: p.Name}
+		for _, alg := range []tcpip.ChecksumAlg{tcpip.AlgTCP, tcpip.AlgFletcher255, tcpip.AlgFletcher256} {
+			res, err := sim.Run(p.Scale(cfg.scale()).Build(), p.Name,
+				sim.Options{Build: tcpip.BuildOptions{Alg: alg}})
+			if err != nil {
+				panic(err)
+			}
+			switch alg {
+			case tcpip.AlgTCP:
+				row.TCP = res
+			case tcpip.AlgFletcher255:
+				row.F255 = res
+			case tcpip.AlgFletcher256:
+				row.F256 = res
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// PathologicalReport renders the §5.5 comparison.
+func PathologicalReport(rows []PathologicalRow) string {
+	t := report.Table{
+		Title:   "§5.5: Pathological data patterns",
+		Headers: []string{"corpus", "TCP", "F-255", "F-256"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Corpus,
+			report.Percent(r.TCP.MissRate(r.TCP.MissedByChecksum)),
+			report.Percent(r.F255.MissRate(r.F255.MissedByChecksum)),
+			report.Percent(r.F256.MissRate(r.F256.MissedByChecksum)))
+	}
+	return t.Render()
+}

@@ -1,0 +1,49 @@
+package inet
+
+import (
+	"testing"
+
+	"realsum/internal/onescomp"
+)
+
+// FuzzPartialComposition checks the §4.1 composition identity for
+// arbitrary data and split points: the sum of a buffer equals the
+// composed partials of any two-way split, including odd-length left
+// fragments (the byte-swap case).
+func FuzzPartialComposition(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{1, 2, 3, 4, 5}, uint8(3))
+	f.Add([]byte{0xFF, 0xFF, 0x00, 0x00}, uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, cutRaw uint8) {
+		cut := 0
+		if len(data) > 0 {
+			cut = int(cutRaw) % (len(data) + 1)
+		}
+		got := NewPartial(data[:cut]).Append(NewPartial(data[cut:]))
+		if want := Sum(data); !onescomp.Congruent(got.Sum, want) {
+			t.Fatalf("split %d/%d: %#04x != %#04x", cut, len(data), got.Sum, want)
+		}
+		if got.Len != len(data) {
+			t.Fatalf("length %d != %d", got.Len, len(data))
+		}
+	})
+}
+
+// FuzzVerifyAfterChecksum checks that any buffer, once its first two
+// bytes are replaced by its checksum-with-field-zeroed, verifies.
+func FuzzVerifyAfterChecksum(f *testing.F) {
+	f.Add(make([]byte, 20))
+	f.Add([]byte{0, 0, 0xAB, 0xCD, 0xEF, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		buf := append([]byte{}, data...)
+		buf[0], buf[1] = 0, 0
+		ck := Checksum(buf)
+		buf[0], buf[1] = byte(ck>>8), byte(ck)
+		if !Verify(buf) {
+			t.Fatalf("stored checksum %#04x does not verify (len %d)", ck, len(buf))
+		}
+	})
+}

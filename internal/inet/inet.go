@@ -1,0 +1,107 @@
+// Package inet implements the Internet checksum of RFC 1071 — the 16-bit
+// ones-complement sum used by IP, TCP and UDP — together with the
+// compositional machinery the paper's splice analysis depends on:
+// partial sums over fragments at arbitrary byte offsets, combination of
+// partials, and incremental update.
+//
+// The checksum of a packet equals the ones-complement sum of the partial
+// sums of its pieces (§4.1 of the paper), with one twist: a fragment that
+// begins at an odd byte offset contributes its partial sum byte-swapped.
+// The Partial type tracks enough state (sum and length parity) to make
+// composition exact.
+package inet
+
+import "realsum/internal/onescomp"
+
+// Sum returns the raw (uncomplemented) ones-complement sum of data,
+// taken as big-endian 16-bit words with a trailing odd byte zero-padded.
+func Sum(data []byte) uint16 { return onescomp.SumBytes(data) }
+
+// Checksum returns the Internet checksum of data: the ones-complement of
+// the ones-complement sum.  This is the value transmitted in the wire
+// checksum field of IP, TCP and UDP headers.
+func Checksum(data []byte) uint16 { return onescomp.Neg(Sum(data)) }
+
+// Verify reports whether data, which must include its checksum field,
+// sums to a representation of ones-complement zero — the receiver-side
+// check of RFC 1071.
+func Verify(data []byte) bool { return onescomp.IsZero(Checksum(data)) }
+
+// Partial is the checksum state of a fragment of a larger buffer.  Sum
+// holds the ones-complement sum of the fragment as if the fragment began
+// at an even offset; Len is the fragment length in bytes.  Partials over
+// adjacent fragments combine with Append; the parity of the left
+// fragment's length determines whether the right partial is byte-swapped.
+type Partial struct {
+	Sum uint16
+	Len int
+}
+
+// NewPartial computes the partial checksum of one fragment.
+func NewPartial(data []byte) Partial {
+	return Partial{Sum: onescomp.SumBytes(data), Len: len(data)}
+}
+
+// Append returns the partial for the concatenation of p's fragment
+// followed by q's fragment.
+func (p Partial) Append(q Partial) Partial {
+	s := q.Sum
+	if p.Len%2 == 1 {
+		s = onescomp.Swap(s)
+	}
+	return Partial{Sum: onescomp.Add(p.Sum, s), Len: p.Len + q.Len}
+}
+
+// AtOffset returns the contribution of p's fragment to the sum of a
+// buffer in which the fragment begins at byte offset off.  For the
+// Internet checksum only the parity of off matters — this is the formal
+// statement of why the TCP sum is position-blind for word-aligned
+// shuffles, the root cause of the splice failures of §4.
+func (p Partial) AtOffset(off int) uint16 {
+	if off%2 == 1 {
+		return onescomp.Swap(p.Sum)
+	}
+	return p.Sum
+}
+
+// Combine folds a sequence of partials over adjacent fragments, in
+// order, into the partial of the whole buffer.
+func Combine(parts ...Partial) Partial {
+	var acc Partial
+	for _, p := range parts {
+		acc = acc.Append(p)
+	}
+	return acc
+}
+
+// Update adjusts a raw sum for the 16-bit word at even offset changing
+// from from to to.  See onescomp.UpdateSum.
+func Update(sum, from, to uint16) uint16 { return onescomp.UpdateSum(sum, from, to) }
+
+// Digest is a streaming Internet-checksum accumulator in the spirit of
+// hash.Hash.  It accepts writes of any size and alignment.
+type Digest struct {
+	part Partial
+}
+
+// New returns a streaming checksum accumulator.
+func New() *Digest { return &Digest{} }
+
+// Reset restores the digest to its initial state.
+func (d *Digest) Reset() { d.part = Partial{} }
+
+// Write absorbs data into the running sum.  It never fails.
+func (d *Digest) Write(data []byte) (int, error) {
+	d.part = d.part.Append(NewPartial(data))
+	return len(data), nil
+}
+
+// Sum16 returns the raw ones-complement sum of everything written.
+func (d *Digest) Sum16() uint16 { return d.part.Sum }
+
+// Checksum16 returns the complemented (wire-format) checksum of
+// everything written.
+func (d *Digest) Checksum16() uint16 { return onescomp.Neg(d.part.Sum) }
+
+// Len returns the number of bytes written.
+func (d *Digest) Len() int { return d.part.Len }

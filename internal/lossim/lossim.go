@@ -1,0 +1,193 @@
+// Package lossim simulates an ATM link that loses cells, and measures
+// what a standard AAL5/TCP receiver makes of the survivors — the
+// end-to-end counterpart of the exhaustive splice enumeration, and the
+// executable form of §7's "good news":
+//
+//   - under plain random cell loss, adjacent-packet splices reach the
+//     reassembler and occasionally pass every check;
+//   - Partial Packet Discard (drop the rest of a damaged packet but
+//     let its marked trailer cell through) turns almost every splice
+//     into a detectable length error;
+//   - Early Packet Discard (drop whole packets at the switch) produces
+//     clean losses only — no splice can ever form.
+//
+// The receiver applies exactly the layered checks of the paper: AAL5
+// framing and length, the TCP/IP header battery, the AAL5 CRC-32 and
+// the transport checksum.
+package lossim
+
+import (
+	"hash/fnv"
+	"math/rand/v2"
+
+	"realsum/internal/atm"
+	"realsum/internal/tcpip"
+)
+
+// Policy models a cell-loss process with switch-side discard behaviour.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// StartPacket is called at the first cell of each packet.
+	StartPacket(rng *rand.Rand)
+	// Drop is called per cell (eop marks the packet's final cell) and
+	// reports whether the link/switch drops it.
+	Drop(rng *rand.Rand, eop bool) bool
+}
+
+// RandomLoss drops each cell independently with probability P —
+// corruption-style loss with no switch assistance.
+type RandomLoss struct {
+	P float64
+}
+
+// Name implements Policy.
+func (RandomLoss) Name() string { return "random" }
+
+// StartPacket implements Policy.
+func (RandomLoss) StartPacket(*rand.Rand) {}
+
+// Drop implements Policy.
+func (l RandomLoss) Drop(rng *rand.Rand, eop bool) bool {
+	return rng.Float64() < l.P
+}
+
+// PPD is Partial Packet Discard, exactly as §7 describes: an
+// underlying random process drops cells; once any cell of a packet is
+// lost the switch drops *all* subsequent cells of that packet,
+// trailer included.  A trailer is therefore only ever delivered when
+// all preceding cells of its packet were delivered, and the stranded
+// prefix cells of damaged packets pile onto the next delivered packet
+// where the AAL5 length check flags them — the CRC is never needed.
+type PPD struct {
+	P       float64
+	damaged bool
+}
+
+// Name implements Policy.
+func (*PPD) Name() string { return "ppd" }
+
+// StartPacket implements Policy.
+func (p *PPD) StartPacket(*rand.Rand) { p.damaged = false }
+
+// Drop implements Policy.
+func (p *PPD) Drop(rng *rand.Rand, eop bool) bool {
+	if p.damaged {
+		return true
+	}
+	if rng.Float64() < p.P {
+		p.damaged = true
+		return true
+	}
+	return false
+}
+
+// EPD is Early Packet Discard: the switch decides at packet start
+// whether to drop the entire packet (trailer included).  PacketP is the
+// whole-packet drop probability.
+type EPD struct {
+	PacketP  float64
+	dropping bool
+}
+
+// Name implements Policy.
+func (*EPD) Name() string { return "epd" }
+
+// StartPacket implements Policy.
+func (e *EPD) StartPacket(rng *rand.Rand) { e.dropping = rng.Float64() < e.PacketP }
+
+// Drop implements Policy.
+func (e *EPD) Drop(*rand.Rand, bool) bool { return e.dropping }
+
+// Stats aggregates one run.
+type Stats struct {
+	PacketsSent  uint64
+	CellsSent    uint64
+	CellsDropped uint64
+
+	// Reassembly outcomes, one per delivered trailer cell.
+	Intact           uint64 // accepted, byte-identical to a sent packet
+	DetectedFraming  uint64 // AAL5 length/marking checks fired
+	DetectedCRC      uint64 // AAL5 CRC-32 fired
+	DetectedHeader   uint64 // TCP/IP header battery fired
+	DetectedChecksum uint64 // transport checksum fired
+	Undetected       uint64 // accepted, but matches no sent packet
+	CleanLost        uint64 // packets whose trailer never arrived
+}
+
+// Accepted returns the number of packets the receiver handed up.
+func (s Stats) Accepted() uint64 { return s.Intact + s.Undetected }
+
+// Run transmits the packets (complete IPv4 packets built under opts)
+// as AAL5 cell streams through the loss policy and collects the
+// receiver-side statistics.  Deterministic for a given seed.
+func Run(packets [][]byte, policy Policy, opts tcpip.BuildOptions, seed uint64) Stats {
+	rng := rand.New(rand.NewPCG(seed, 0x10551))
+	var st Stats
+
+	sent := make(map[uint64]bool, len(packets))
+	hashOf := func(b []byte) uint64 {
+		h := fnv.New64a()
+		h.Write(b)
+		return h.Sum64()
+	}
+	for _, p := range packets {
+		sent[hashOf(p)] = true
+	}
+
+	var buf []atm.Cell
+	trailersDelivered := uint64(0)
+	for _, pkt := range packets {
+		cells, err := atm.Segment(pkt, 0, 32)
+		if err != nil {
+			continue
+		}
+		st.PacketsSent++
+		policy.StartPacket(rng)
+		for i := range cells {
+			st.CellsSent++
+			eop := cells[i].Header.EndOfPacket()
+			if policy.Drop(rng, eop) {
+				st.CellsDropped++
+				continue
+			}
+			buf = append(buf, cells[i])
+			if !eop {
+				continue
+			}
+			trailersDelivered++
+			st.classify(buf, sent, hashOf, opts)
+			buf = buf[:0]
+		}
+	}
+	st.CleanLost = st.PacketsSent - trailersDelivered
+	return st
+}
+
+// classify runs the receiver checks on one reassembly buffer.
+func (st *Stats) classify(cells []atm.Cell, sent map[uint64]bool, hashOf func([]byte) uint64, opts tcpip.BuildOptions) {
+	tr, err := atm.CheckFraming(cells)
+	if err != nil {
+		st.DetectedFraming++
+		return
+	}
+	sdu, err := atm.Reassemble(cells)
+	if err != nil {
+		st.DetectedCRC++
+		return
+	}
+	_ = tr
+	if err := tcpip.ValidateHeaders(sdu, opts); err != nil {
+		st.DetectedHeader++
+		return
+	}
+	if !tcpip.VerifyPacket(sdu, opts) {
+		st.DetectedChecksum++
+		return
+	}
+	if sent[hashOf(sdu)] {
+		st.Intact++
+	} else {
+		st.Undetected++
+	}
+}

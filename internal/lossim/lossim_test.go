@@ -1,0 +1,140 @@
+package lossim
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"realsum/internal/tcpip"
+)
+
+// buildStream builds n adjacent 256-byte packets of one flow with the
+// given payload generator.
+func buildStream(n int, opts tcpip.BuildOptions, gen func(i int) []byte) [][]byte {
+	flow := tcpip.NewLoopbackFlow(opts)
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = flow.NextPacket(nil, gen(i))
+	}
+	return out
+}
+
+func zeroHeavy(rng *rand.Rand) func(int) []byte {
+	return func(int) []byte {
+		p := make([]byte, 256)
+		for i := 0; i+2 <= len(p); i += 32 {
+			p[i+1] = 1
+		}
+		if rng != nil {
+			p[rng.IntN(len(p))] = byte(rng.Uint32())
+		}
+		return p
+	}
+}
+
+func TestNoLossDeliversEverything(t *testing.T) {
+	pkts := buildStream(50, tcpip.BuildOptions{}, zeroHeavy(rand.New(rand.NewPCG(1, 1))))
+	st := Run(pkts, RandomLoss{P: 0}, tcpip.BuildOptions{}, 1)
+	if st.Intact != 50 || st.Undetected != 0 || st.CleanLost != 0 || st.CellsDropped != 0 {
+		t.Errorf("lossless run: %+v", st)
+	}
+}
+
+func TestTotalLossDeliversNothing(t *testing.T) {
+	pkts := buildStream(20, tcpip.BuildOptions{}, zeroHeavy(nil))
+	st := Run(pkts, RandomLoss{P: 1}, tcpip.BuildOptions{}, 1)
+	if st.Accepted() != 0 || st.CleanLost != 20 {
+		t.Errorf("total loss: %+v", st)
+	}
+	if st.CellsDropped != st.CellsSent {
+		t.Errorf("dropped %d of %d", st.CellsDropped, st.CellsSent)
+	}
+}
+
+func TestRandomLossProducesDetectedDamage(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	pkts := buildStream(400, tcpip.BuildOptions{}, zeroHeavy(rng))
+	st := Run(pkts, RandomLoss{P: 0.05}, tcpip.BuildOptions{}, 7)
+	detected := st.DetectedFraming + st.DetectedCRC + st.DetectedHeader + st.DetectedChecksum
+	if detected == 0 {
+		t.Error("5% cell loss should produce detectable damage")
+	}
+	if st.Intact == 0 {
+		t.Error("most packets should still arrive intact")
+	}
+	// The CRC-32 backstop makes end-to-end undetected corruption
+	// essentially impossible at this sample size.
+	if st.Undetected != 0 {
+		t.Errorf("undetected corruption with CRC on: %d", st.Undetected)
+	}
+}
+
+func TestPPDConvertsSplicesToLengthErrors(t *testing.T) {
+	// §7: with PPD a trailer is only delivered when all preceding cells
+	// of its packet were delivered, so candidate PDUs either reassemble
+	// exactly or carry stranded prefix cells that fail the length check
+	// — the CRC is never consulted.
+	rng := rand.New(rand.NewPCG(3, 3))
+	pkts := buildStream(400, tcpip.BuildOptions{}, zeroHeavy(rng))
+	st := Run(pkts, &PPD{P: 0.05}, tcpip.BuildOptions{}, 8)
+	if st.DetectedCRC != 0 {
+		t.Errorf("PPD should leave nothing for the CRC to catch, got %d", st.DetectedCRC)
+	}
+	if st.DetectedFraming == 0 {
+		t.Error("PPD should produce framing-detected partial packets")
+	}
+	if st.Undetected != 0 {
+		t.Errorf("undetected corruption under PPD: %d", st.Undetected)
+	}
+	if st.DetectedChecksum != 0 {
+		t.Errorf("PPD should never reach the transport checksum: %d", st.DetectedChecksum)
+	}
+}
+
+func TestEPDProducesOnlyCleanLoss(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	pkts := buildStream(400, tcpip.BuildOptions{}, zeroHeavy(rng))
+	st := Run(pkts, &EPD{PacketP: 0.2}, tcpip.BuildOptions{}, 9)
+	detected := st.DetectedFraming + st.DetectedCRC + st.DetectedHeader + st.DetectedChecksum
+	if detected != 0 {
+		t.Errorf("EPD should never deliver damaged PDUs, got %d detections", detected)
+	}
+	if st.Undetected != 0 {
+		t.Errorf("EPD undetected corruption: %d", st.Undetected)
+	}
+	if st.CleanLost == 0 || st.Intact == 0 {
+		t.Errorf("EPD at 20%% should both lose and deliver packets: %+v", st)
+	}
+	if st.Intact+st.CleanLost != st.PacketsSent {
+		t.Errorf("EPD accounting: %+v", st)
+	}
+}
+
+func TestSplicesFormWithoutCRC(t *testing.T) {
+	// With the AAL5 CRC disabled (receiver trusting the TCP checksum
+	// alone, as over SLIP — §7's caution), random loss over zero-heavy
+	// data eventually yields accepted-but-corrupt packets.  We can't
+	// disable the CRC in the receiver, so instead verify the precursor:
+	// candidate PDUs that pass framing and headers but fail only the
+	// CRC exist — exactly the splices Tables 1–3 count.
+	rng := rand.New(rand.NewPCG(5, 5))
+	pkts := buildStream(3000, tcpip.BuildOptions{}, zeroHeavy(rng))
+	st := Run(pkts, RandomLoss{P: 0.12}, tcpip.BuildOptions{}, 10)
+	if st.DetectedCRC+st.DetectedChecksum == 0 {
+		t.Errorf("no splice candidates survived framing+header at 12%% loss: %+v", st)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	pkts := buildStream(100, tcpip.BuildOptions{}, zeroHeavy(rand.New(rand.NewPCG(6, 6))))
+	a := Run(pkts, RandomLoss{P: 0.1}, tcpip.BuildOptions{}, 42)
+	b := Run(pkts, RandomLoss{P: 0.1}, tcpip.BuildOptions{}, 42)
+	if a != b {
+		t.Errorf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (RandomLoss{}).Name() != "random" || (&PPD{}).Name() != "ppd" || (&EPD{}).Name() != "epd" {
+		t.Error("policy names")
+	}
+}

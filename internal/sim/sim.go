@@ -1,0 +1,255 @@
+// Package sim drives the paper's experiments end to end: it simulates
+// FTP transfers of every file in a corpus as 256-byte TCP/IP segments
+// over AAL5 (§3.2), enumerates every packet splice of each adjacent
+// segment pair, and aggregates the classification counts that form
+// Tables 1–3 and 7–10.  It also hosts the distribution-collection
+// passes behind Figures 2–3 and Tables 4–6.
+package sim
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"realsum/internal/corpus"
+	"realsum/internal/dist"
+	"realsum/internal/fletcher"
+	"realsum/internal/inet"
+	"realsum/internal/splice"
+	"realsum/internal/tcpip"
+)
+
+// DefaultSegmentSize is the paper's TCP segment payload size: "The TCP
+// segment sizes examined were 256 bytes long, except for runt packets
+// at the end of files."
+const DefaultSegmentSize = 256
+
+// Options configures one simulation run.
+type Options struct {
+	// Build carries the packet-construction knobs (checksum algorithm,
+	// placement, inversion, IP-header fill).
+	Build tcpip.BuildOptions
+	// SegmentSize is the TCP payload size per packet (default 256).
+	SegmentSize int
+	// CheckCRC enables the AAL5 CRC test on every splice.
+	CheckCRC bool
+	// Compress applies LZW to every file before packetization (§5.1).
+	Compress bool
+	// Workers bounds parallelism across files (default GOMAXPROCS).
+	Workers int
+	// TrackWorst, when positive, records the TrackWorst files with the
+	// most checksum misses — §5.5's observation that undetected-splice
+	// rates spike "at the level of individual directories or even
+	// files" depends on exactly this attribution.
+	TrackWorst int
+}
+
+// FileMisses attributes splice-simulation outcomes to one file.
+type FileMisses struct {
+	Path      string
+	Remaining uint64
+	Missed    uint64
+}
+
+func (o Options) segmentSize() int {
+	if o.SegmentSize <= 0 {
+		return DefaultSegmentSize
+	}
+	return o.SegmentSize
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+// Result aggregates one system's simulation.
+type Result struct {
+	System  string
+	Files   uint64
+	Packets uint64
+	Bytes   uint64
+	splice.Counts
+	// WorstFiles holds the files with the most checksum misses, most
+	// missed first, when Options.TrackWorst was set.
+	WorstFiles []FileMisses
+}
+
+// Run simulates the transfer of every file that w yields and inspects
+// every splice of adjacent segments.  Files are processed in parallel;
+// the result is deterministic because per-file state is independent and
+// aggregation is commutative.
+func Run(w corpus.Walker, name string, opt Options) (Result, error) {
+	res := Result{System: name}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	type job struct {
+		path string
+		data []byte
+	}
+	jobs := make(chan job, opt.workers())
+	var worst []FileMisses
+
+	for i := 0; i < opt.workers(); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				counts, packets := processFile(j.data, opt)
+				mu.Lock()
+				res.Counts.Add(counts)
+				res.Files++
+				res.Packets += packets
+				res.Bytes += uint64(len(j.data))
+				if opt.TrackWorst > 0 && counts.Remaining > 0 {
+					worst = append(worst, FileMisses{
+						Path:      j.path,
+						Remaining: counts.Remaining,
+						Missed:    counts.MissedByChecksum,
+					})
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	err := w.Walk(func(path string, data []byte) error {
+		if opt.Compress {
+			data = corpus.Compress(data)
+		}
+		jobs <- job{path: path, data: data}
+		return nil
+	})
+	close(jobs)
+	wg.Wait()
+
+	if opt.TrackWorst > 0 {
+		sort.Slice(worst, func(i, j int) bool {
+			if worst[i].Missed != worst[j].Missed {
+				return worst[i].Missed > worst[j].Missed
+			}
+			return worst[i].Path < worst[j].Path
+		})
+		if len(worst) > opt.TrackWorst {
+			worst = worst[:opt.TrackWorst]
+		}
+		res.WorstFiles = worst
+	}
+	return res, err
+}
+
+// processFile simulates one file's transfer and enumerates splices of
+// every adjacent packet pair.  Two packet buffers alternate so the
+// whole transfer runs without per-packet allocation.
+func processFile(data []byte, opt Options) (splice.Counts, uint64) {
+	seg := opt.segmentSize()
+	cfg := splice.Config{Opts: opt.Build, CheckCRC: opt.CheckCRC}
+	flow := tcpip.NewLoopbackFlow(opt.Build)
+
+	var counts splice.Counts
+	var packets uint64
+	var bufs [2][]byte
+	var prev []byte
+	for off := 0; off < len(data); off += seg {
+		end := off + seg
+		if end > len(data) {
+			end = len(data)
+		}
+		slot := int(packets) & 1
+		pkt := flow.NextPacket(bufs[slot][:0], data[off:end])
+		bufs[slot] = pkt[:0]
+		packets++
+		if prev != nil {
+			counts.Add(splice.EnumeratePair(prev, pkt, cfg))
+		}
+		prev = pkt
+	}
+	return counts, packets
+}
+
+// ---------------------------------------------------------------------
+// Distribution collection passes (Figures 2–3, Tables 4–6).
+
+// CellAlg selects which checksum the cell-distribution pass computes.
+type CellAlg int
+
+const (
+	// CellTCP histograms the ones-complement sum of each cell.
+	CellTCP CellAlg = iota
+	// CellFletcher255 histograms the packed mod-255 Fletcher pair.
+	CellFletcher255
+	// CellFletcher256 histograms the packed mod-256 Fletcher pair.
+	CellFletcher256
+)
+
+// CollectCellHistogram scans every complete 48-byte cell of every file
+// and histograms its checksum value under alg — the Figure 2/Figure 3
+// measurement.
+func CollectCellHistogram(w corpus.Walker, alg CellAlg) (*dist.Histogram, error) {
+	h := dist.NewHistogram()
+	err := w.Walk(func(path string, data []byte) error {
+		for off := 0; off+dist.CellSize <= len(data); off += dist.CellSize {
+			cell := data[off : off+dist.CellSize]
+			switch alg {
+			case CellTCP:
+				h.Add(inet.Sum(cell))
+			case CellFletcher255:
+				h.Add(fletcher.Mod255.Sum(cell).Checksum16())
+			case CellFletcher256:
+				h.Add(fletcher.Mod256.Sum(cell).Checksum16())
+			}
+		}
+		return nil
+	})
+	return h, err
+}
+
+// CollectBlockHistogram histograms the TCP checksum of aligned k-cell
+// blocks — the k=2,4,… series of Figure 2.
+func CollectBlockHistogram(w corpus.Walker, k int) (*dist.Histogram, error) {
+	g, err := CollectGlobal(w, k)
+	if err != nil {
+		return nil, err
+	}
+	return g.Histogram(), nil
+}
+
+// CollectGlobal runs the global k-cell block sampler over a corpus
+// (Table 4 "Measured", Table 5 "Globally Congruent", and the
+// exclude-identical subtraction).
+func CollectGlobal(w corpus.Walker, k int) (*dist.GlobalSampler, error) {
+	g := dist.NewGlobalSampler(k)
+	err := w.Walk(func(path string, data []byte) error {
+		g.AddFile(data)
+		return nil
+	})
+	return g, err
+}
+
+// CollectLocal runs the local congruence sampler (Table 5's "Locally
+// Congruent" and "Excluding Identical" columns) with the paper's
+// 512-byte window.
+func CollectLocal(w corpus.Walker, k, window int) (dist.LocalStats, error) {
+	var st dist.LocalStats
+	err := w.Walk(func(path string, data []byte) error {
+		st.Add(dist.SampleLocal(data, k, window))
+		return nil
+	})
+	return st, err
+}
+
+// CollectLocalAnyCells runs the paper's actual local sampling method —
+// non-contiguous k-cell blocks within the window (§4.6) — with
+// perWindow sampled pairs per window position.
+func CollectLocalAnyCells(w corpus.Walker, k, window, perWindow int) (dist.LocalStats, error) {
+	var st dist.LocalStats
+	var fileIdx uint64
+	err := w.Walk(func(path string, data []byte) error {
+		st.Add(dist.SampleLocalAnyCells(data, k, window, perWindow, 0xA11CE115^fileIdx))
+		fileIdx++
+		return nil
+	})
+	return st, err
+}

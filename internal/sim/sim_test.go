@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"realsum/internal/corpus"
+	"realsum/internal/tcpip"
+)
+
+// tiny returns a small deterministic corpus for fast tests.
+func tiny(seed uint64, ft corpus.FileType, files, size int) *corpus.FS {
+	p := corpus.Profile{
+		Name:  "tiny",
+		Mix:   []corpus.TypeWeight{{Type: ft, Weight: 1}},
+		Files: files, MinSize: size, MaxSize: size,
+		Seed: seed,
+	}
+	return p.Build()
+}
+
+func TestRunCountsFilesAndPackets(t *testing.T) {
+	fs := tiny(1, corpus.UniformRandom, 4, 1024)
+	res, err := Run(fs, fs.Name, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Files != 4 {
+		t.Errorf("Files = %d", res.Files)
+	}
+	// 1024 bytes at 256/segment = 4 packets per file.
+	if res.Packets != 16 {
+		t.Errorf("Packets = %d, want 16", res.Packets)
+	}
+	if res.Bytes != 4096 {
+		t.Errorf("Bytes = %d", res.Bytes)
+	}
+	// 3 adjacent pairs per file.
+	if res.Pairs != 12 {
+		t.Errorf("Pairs = %d, want 12", res.Pairs)
+	}
+	if res.Total == 0 || res.Remaining == 0 {
+		t.Errorf("no splices inspected: %+v", res.Counts)
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	fs := tiny(2, corpus.GmonOut, 6, 2048)
+	opt := Options{CheckCRC: true}
+	opt.Workers = 1
+	a, err := Run(fs, "x", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 8
+	b, err := Run(fs, "x", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Counts != b.Counts || a.Packets != b.Packets {
+		t.Errorf("worker count changed results:\n1: %+v\n8: %+v", a.Counts, b.Counts)
+	}
+}
+
+func TestRunSegmentSizeAffectsPacketCount(t *testing.T) {
+	fs := tiny(3, corpus.UniformRandom, 1, 1000)
+	res, _ := Run(fs, "x", Options{SegmentSize: 100})
+	if res.Packets != 10 {
+		t.Errorf("Packets = %d, want 10", res.Packets)
+	}
+}
+
+func TestCompressReducesMissRate(t *testing.T) {
+	// Table 7's effect: compression pushes the miss rate toward 2^-16.
+	fs := tiny(4, corpus.GmonOut, 10, 8192)
+	plain, err := Run(fs, "plain", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := Run(fs, "comp", Options{Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := plain.MissRate(plain.MissedByChecksum)
+	cr := comp.MissRate(comp.MissedByChecksum)
+	if pr == 0 {
+		t.Skip("plain corpus produced no misses at this scale")
+	}
+	if cr >= pr {
+		t.Errorf("compression did not reduce miss rate: %.6g -> %.6g", pr, cr)
+	}
+}
+
+func TestZeroIPHeaderAblationRaisesMisses(t *testing.T) {
+	// §6.2: leaving the IP header unfilled raises the miss count by
+	// orders of magnitude on zero-heavy data.
+	fs := tiny(5, corpus.GmonOut, 8, 8192)
+	filled, _ := Run(fs, "filled", Options{})
+	zeroed, _ := Run(fs, "zeroed", Options{Build: tcpip.BuildOptions{ZeroIPHeader: true}})
+	if zeroed.MissedByChecksum <= filled.MissedByChecksum {
+		t.Errorf("zeroed-header misses (%d) not above filled (%d)",
+			zeroed.MissedByChecksum, filled.MissedByChecksum)
+	}
+}
+
+func TestCollectCellHistogram(t *testing.T) {
+	fs := tiny(6, corpus.UniformRandom, 2, 4800)
+	for _, alg := range []CellAlg{CellTCP, CellFletcher255, CellFletcher256} {
+		h, err := CollectCellHistogram(fs, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 4800/48 = 100 cells per file, 2 files.
+		if h.Total() != 200 {
+			t.Errorf("alg %d: total = %d, want 200", alg, h.Total())
+		}
+	}
+}
+
+func TestCollectGlobalAndLocal(t *testing.T) {
+	fs := tiny(7, corpus.EnglishText, 3, 4800)
+	g, err := CollectGlobal(fs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Blocks() != 3*50 {
+		t.Errorf("blocks = %d, want 150", g.Blocks())
+	}
+	st, err := CollectLocal(fs, 1, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Pairs == 0 {
+		t.Error("no local pairs sampled")
+	}
+	bh, err := CollectBlockHistogram(fs, 2)
+	if err != nil || bh.Total() != 150 {
+		t.Errorf("block histogram: %v, total %d", err, bh.Total())
+	}
+}
+
+func TestStructuredDataMissesMoreThanUniform(t *testing.T) {
+	// The paper's central claim at the system level.
+	uni := tiny(8, corpus.UniformRandom, 8, 8192)
+	gmon := tiny(9, corpus.GmonOut, 8, 8192)
+	u, _ := Run(uni, "u", Options{})
+	g, _ := Run(gmon, "g", Options{})
+	ur := u.MissRate(u.MissedByChecksum)
+	gr := g.MissRate(g.MissedByChecksum)
+	if gr <= ur {
+		t.Errorf("structured data miss rate %.6g not above uniform %.6g", gr, ur)
+	}
+}
+
+func TestFletcherBeatsTCPOnStructuredData(t *testing.T) {
+	// Table 8's shape at miniature scale.
+	gmon := tiny(10, corpus.GmonOut, 10, 8192)
+	tcp, _ := Run(gmon, "tcp", Options{})
+	f256, _ := Run(gmon, "f256", Options{Build: tcpip.BuildOptions{Alg: tcpip.AlgFletcher256}})
+	tr := tcp.MissRate(tcp.MissedByChecksum)
+	fr := f256.MissRate(f256.MissedByChecksum)
+	if tr == 0 {
+		t.Skip("no TCP misses at this scale")
+	}
+	if fr > tr {
+		t.Errorf("Fletcher-256 miss rate %.6g above TCP %.6g", fr, tr)
+	}
+}
+
+type failingWalker struct{}
+
+func (failingWalker) Walk(fn func(string, []byte) error) error {
+	fn("one", make([]byte, 512))
+	return errTestWalk
+}
+
+var errTestWalk = errors.New("walk failed")
+
+func TestRunPropagatesWalkError(t *testing.T) {
+	res, err := Run(failingWalker{}, "x", Options{})
+	if err != errTestWalk {
+		t.Fatalf("err = %v", err)
+	}
+	// The file delivered before the failure is still processed.
+	if res.Files != 1 {
+		t.Errorf("Files = %d", res.Files)
+	}
+	if _, err := CollectGlobal(failingWalker{}, 1); err != errTestWalk {
+		t.Errorf("CollectGlobal err = %v", err)
+	}
+	if _, err := CollectLocal(failingWalker{}, 1, 512); err != errTestWalk {
+		t.Errorf("CollectLocal err = %v", err)
+	}
+	if _, err := CollectLocalAnyCells(failingWalker{}, 1, 512, 2); err != errTestWalk {
+		t.Errorf("CollectLocalAnyCells err = %v", err)
+	}
+	if _, err := CollectCellHistogram(failingWalker{}, CellTCP); err != errTestWalk {
+		t.Errorf("CollectCellHistogram err = %v", err)
+	}
+}
+
+func TestRunTrackWorst(t *testing.T) {
+	fs := tiny(20, corpus.GmonOut, 6, 4096)
+	res, err := Run(fs, "x", Options{TrackWorst: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.WorstFiles) == 0 || len(res.WorstFiles) > 3 {
+		t.Fatalf("WorstFiles = %d", len(res.WorstFiles))
+	}
+	for i := 1; i < len(res.WorstFiles); i++ {
+		if res.WorstFiles[i].Missed > res.WorstFiles[i-1].Missed {
+			t.Fatal("not sorted by misses")
+		}
+	}
+	// Without tracking, nothing is recorded.
+	res2, _ := Run(fs, "x", Options{})
+	if res2.WorstFiles != nil {
+		t.Error("WorstFiles recorded without TrackWorst")
+	}
+}

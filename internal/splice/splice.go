@@ -1,0 +1,533 @@
+// Package splice implements the paper's central experiment: exhaustive
+// enumeration of AAL5 packet splices over pairs of adjacent TCP/IP
+// packets, and classification of every splice against the layered
+// checks a receiver would apply — AAL5 framing, the syntactic TCP/IP
+// header battery, the AAL5 CRC-32 and the transport checksum.
+//
+// A splice (§3.1) arises when cell losses leave an order-preserving
+// subsequence of two adjacent packets' cells that still looks like one
+// AAL5 packet.  Three structural constraints bound the space:
+//
+//   - the last cell of the splice must be an end-of-packet-marked cell,
+//     and the only usable one is the second packet's trailer cell (the
+//     first packet's marked cell may not appear in the interior);
+//   - the splice's cell count must match the AAL5 length field carried
+//     in that trailer cell;
+//   - cells cannot be reordered.
+//
+// For two n-cell packets with the first packet's header cell kept, that
+// yields C(2n−3, n−2) candidates — 462 for the 7-cell packets of a
+// 256-byte transfer (§4.6).
+//
+// Enumeration is a depth-first walk that carries incremental checksum
+// state per branch: the ones-complement sum composes across cells by
+// plain addition (§4.1), the Fletcher pair composes with the positional
+// shift B += A·off (§5.2), and the CRC-32 register extends cell by
+// cell.  A full splice is therefore classified in O(cells) instead of
+// O(bytes), which is what makes whole-file-system enumeration cheap.
+package splice
+
+import (
+	"realsum/internal/atm"
+	"realsum/internal/crc"
+	"realsum/internal/fletcher"
+	"realsum/internal/inet"
+	"realsum/internal/onescomp"
+	"realsum/internal/tcpip"
+)
+
+// MaxCells bounds the per-packet cell count the length-bucketed
+// counters track (a 65535-byte SDU is 1366 cells; buckets above
+// MaxCells-1 are clamped).
+const MaxCells = 32
+
+// Counts aggregates the classification of every inspected splice, in
+// the row layout of Tables 1–3.
+type Counts struct {
+	Pairs uint64 // adjacent packet pairs enumerated
+
+	Total          uint64 // candidate splices (identity excluded)
+	CaughtByHeader uint64 // failed the §3.1 TCP/IP header battery
+	Identical      uint64 // data identical to one original packet
+	Remaining      uint64 // corrupted splices only the checksums can catch
+
+	MissedByCRC      uint64 // Remaining splices the AAL5 CRC-32 passed
+	MissedByChecksum uint64 // Remaining splices the transport checksum passed
+	MissedByBoth     uint64 // Remaining splices both checks passed
+
+	// IdenticalFailedChecksum counts identical-data splices the
+	// transport checksum nonetheless rejected — zero for header
+	// checksums, large for trailer checksums (Table 10's asymmetry).
+	IdenticalFailedChecksum uint64
+
+	// IdenticalPassedChecksum counts identical-data splices the
+	// transport checksum accepted.
+	IdenticalPassedChecksum uint64
+
+	// RemainingByLen and MissedByLen bucket Remaining splices by
+	// substitution length — the number of second-packet cells in the
+	// splice — feeding Table 6's "Actual" rows.
+	RemainingByLen [MaxCells]uint64
+	MissedByLen    [MaxCells]uint64
+}
+
+// Add accumulates o into c.
+func (c *Counts) Add(o Counts) {
+	c.Pairs += o.Pairs
+	c.Total += o.Total
+	c.CaughtByHeader += o.CaughtByHeader
+	c.Identical += o.Identical
+	c.Remaining += o.Remaining
+	c.MissedByCRC += o.MissedByCRC
+	c.MissedByChecksum += o.MissedByChecksum
+	c.MissedByBoth += o.MissedByBoth
+	c.IdenticalFailedChecksum += o.IdenticalFailedChecksum
+	c.IdenticalPassedChecksum += o.IdenticalPassedChecksum
+	for i := range c.RemainingByLen {
+		c.RemainingByLen[i] += o.RemainingByLen[i]
+		c.MissedByLen[i] += o.MissedByLen[i]
+	}
+}
+
+// MissRate returns missed/Remaining as a fraction (0 when no remaining
+// splices) — the percentage columns of the tables.
+func (c Counts) MissRate(missed uint64) float64 {
+	if c.Remaining == 0 {
+		return 0
+	}
+	return float64(missed) / float64(c.Remaining)
+}
+
+// Config selects which checks the enumeration applies.
+type Config struct {
+	// Opts describes how the packets were built; verification mirrors
+	// construction (algorithm, placement, inversion, IP-header fill).
+	Opts tcpip.BuildOptions
+	// CheckCRC enables the AAL5 CRC-32 test (Tables 1–3, 7).  When
+	// false MissedByCRC stays zero and enumeration is faster.
+	CheckCRC bool
+}
+
+var crc32Table = crc.New(crc.CRC32)
+
+// pairState holds the per-pair precomputation shared by all branches of
+// one enumeration.
+type pairState struct {
+	cfg Config
+
+	l1, l2 int // SDU (IP packet) lengths
+	n2     int // splice cell count = cells of packet 2
+
+	pool     [][]byte // candidate cell payloads: P1[0..n1-2] then P2[0..n2-2]
+	m1       int      // first m1 pool entries come from packet 1
+	lastCell []byte   // pinned trailer cell payload (P2's last)
+
+	// Header validity of each pool cell if it were the splice's first
+	// cell, plus the same for the pinned last cell (the n2 == 1 case).
+	headerOK     []bool
+	lastHeaderOK bool
+
+	// Incremental transport-checksum precomputation.
+	pseudo   uint16 // pseudo-header sum for an L2-byte packet
+	sum48    []uint16
+	sumHead  []uint16 // cell bytes 20..48 (slot-0 contribution)
+	sumLast  uint16   // last cell's SDU-prefix contribution
+	lastLen  int      // SDU bytes carried by the last cell
+	fmod     fletcher.Mod
+	pair48   []fletcher.Pair
+	pairHead []fletcher.Pair
+	pairLast fletcher.Pair
+
+	// Equality maps for identical-data detection: eq1[i][s] ⇔ pool cell
+	// i placed at slot s matches packet 1's SDU there (checksum field
+	// bytes excluded); likewise eq2 against packet 2.
+	eq1, eq2     [][]bool
+	lastEq1      bool // pinned last cell vs packet 1's final slot
+	sameLen      bool // l1 == l2, a precondition for identical-to-P1
+	fieldOff     int  // checksum field offset within the SDU
+	wantCRC      uint32
+	crcInitReg   uint64
+	slowVerify   bool // incremental state invalid; materialize instead
+	coverFull    bool // ZeroIPHeader: checksum covers the whole SDU
+	p1sdu, p2sdu []byte
+
+	sel    []int  // shared DFS selection stack (pool indices)
+	sdubuf []byte // scratch for materialized verification
+
+	visit    func(Splice) // optional per-splice callback (VisitPair)
+	visitSDU bool         // materialize SDU bytes for the callback
+
+	counts Counts
+}
+
+// EnumeratePair inspects every candidate splice of two adjacent packets
+// (full IPv4 packets as built by tcpip.Flow) and returns the
+// classification counts.  Packets too short to segment are ignored.
+func EnumeratePair(p1, p2 []byte, cfg Config) Counts {
+	cells1, err1 := atm.Segment(p1, 0, 32)
+	cells2, err2 := atm.Segment(p2, 0, 32)
+	if err1 != nil || err2 != nil {
+		return Counts{}
+	}
+	st := newPairState(p1, p2, cells1, cells2, cfg)
+	st.counts.Pairs = 1
+	st.enumerate()
+	return st.counts
+}
+
+func newPairState(p1, p2 []byte, cells1, cells2 []atm.Cell, cfg Config) *pairState {
+	st := &pairState{
+		cfg: cfg,
+		l1:  len(p1), l2: len(p2),
+		n2:      len(cells2),
+		m1:      len(cells1) - 1,
+		sameLen: len(p1) == len(p2),
+		p1sdu:   p1, p2sdu: p2,
+	}
+	// Candidate pool: P1's cells except its marked trailer, then P2's
+	// cells except the pinned trailer.
+	for i := 0; i < len(cells1)-1; i++ {
+		st.pool = append(st.pool, cells1[i].Payload[:])
+	}
+	for i := 0; i < len(cells2)-1; i++ {
+		st.pool = append(st.pool, cells2[i].Payload[:])
+	}
+	st.lastCell = cells2[len(cells2)-1].Payload[:]
+	st.lastLen = st.l2 - (st.n2-1)*atm.PayloadSize
+	if st.lastLen < 0 {
+		// The last cell carries only padding and trailer, so a chosen
+		// cell at the penultimate slot straddles the end of the SDU and
+		// the incremental transport-checksum state overcounts.  Rare
+		// (only runt packets hit it); verify those splices by
+		// materializing the SDU instead.
+		st.lastLen = 0
+		st.slowVerify = true
+	}
+	if st.l2 < (st.n2-1)*atm.PayloadSize+2 && cfg.Opts.Placement == tcpip.PlacementTrailer {
+		// Trailer checksum field straddles the final cell boundary.
+		st.slowVerify = true
+	}
+
+	tr, _ := atm.CheckFraming(cells2)
+	st.wantCRC = tr.CRC
+	st.crcInitReg = crc32Table.RawInit()
+
+	st.fieldOff = cfg.Opts.ChecksumOffset(st.l2)
+	if cfg.Opts.ZeroIPHeader {
+		// §6.2 artifact mode: the checksum covers the whole SDU with no
+		// separate pseudo-header.
+		st.coverFull = true
+	} else {
+		st.pseudo = tcpip.PseudoHeaderSum([4]byte{127, 0, 0, 1}, [4]byte{127, 0, 0, 1}, st.l2-tcpip.IPv4HeaderLen)
+	}
+
+	switch cfg.Opts.Alg {
+	case tcpip.AlgFletcher255:
+		st.fmod = fletcher.Mod255
+	case tcpip.AlgFletcher256:
+		st.fmod = fletcher.Mod256
+	}
+
+	st.precomputeCells()
+	return st
+}
+
+// precomputeCells fills the per-pool-cell tables.
+func (st *pairState) precomputeCells() {
+	n := len(st.pool)
+	st.headerOK = make([]bool, n)
+	st.sum48 = make([]uint16, n)
+	st.sumHead = make([]uint16, n)
+	st.pair48 = make([]fletcher.Pair, n)
+	st.pairHead = make([]fletcher.Pair, n)
+	st.eq1 = make([][]bool, n)
+	st.eq2 = make([][]bool, n)
+
+	for i, cell := range st.pool {
+		st.headerOK[i] = st.headerValid(cell)
+		st.sum48[i] = inet.Sum(cell)
+		st.sumHead[i] = inet.Sum(cell[tcpip.IPv4HeaderLen:])
+		if st.fmod != 0 {
+			st.pair48[i] = st.fmod.Sum(cell)
+			st.pairHead[i] = st.fmod.Sum(cell[tcpip.IPv4HeaderLen:])
+		}
+		st.eq1[i] = st.eqSlots(st.p1sdu, cell)
+		st.eq2[i] = st.eqSlots(st.p2sdu, cell)
+	}
+	st.lastHeaderOK = st.headerValid(st.lastCell)
+	st.sumLast = inet.Sum(st.lastCell[:st.lastLen])
+	if st.fmod != 0 {
+		st.pairLast = st.fmod.Sum(st.lastCell[:st.lastLen])
+	}
+	// Pinned last cell vs packet 1's final slot.
+	st.lastEq1 = st.sameLen && st.eqAt(st.p1sdu, st.lastCell, st.n2-1)
+}
+
+// headerValid reports whether cell, as the splice's first cell, yields
+// a syntactically valid 40-byte TCP/IP header consistent with the
+// splice length l2 (§3.1's three requirements, transport-layer part).
+func (st *pairState) headerValid(cell []byte) bool {
+	if st.l2 < tcpip.HeadersLen || len(cell) < tcpip.HeadersLen {
+		return false
+	}
+	var ip tcpip.IPv4Header
+	if ip.DecodeFromBytes(cell) != nil {
+		return false
+	}
+	if int(ip.TotalLength) != st.l2 || ip.Protocol != tcpip.ProtocolTCP {
+		return false
+	}
+	if !st.cfg.Opts.ZeroIPHeader && !inet.Verify(cell[:tcpip.IPv4HeaderLen]) {
+		return false
+	}
+	return tcpip.ValidateTCP(cell[tcpip.IPv4HeaderLen:tcpip.HeadersLen]) == nil
+}
+
+// eqSlots computes, for every slot s, whether cell matches orig's SDU
+// bytes at slot s (checksum-field bytes excluded).
+func (st *pairState) eqSlots(orig []byte, cell []byte) []bool {
+	out := make([]bool, st.n2)
+	for s := 0; s < st.n2; s++ {
+		out[s] = st.eqAt(orig, cell, s)
+	}
+	return out
+}
+
+// eqAt compares cell against orig's SDU at slot s, restricted to SDU
+// bytes (offsets < l2 for P2-shaped splices; orig may be shorter) and
+// excluding the checksum field at fieldOff.
+func (st *pairState) eqAt(orig []byte, cell []byte, s int) bool {
+	base := s * atm.PayloadSize
+	for j := 0; j < atm.PayloadSize; j++ {
+		off := base + j
+		inOrig := off < len(orig)
+		inSplice := off < st.l2
+		if inOrig != inSplice {
+			return false
+		}
+		if !inSplice {
+			return true // past both SDUs: padding/trailer, irrelevant
+		}
+		if off == st.fieldOff || off == st.fieldOff+1 {
+			continue
+		}
+		if orig[off] != cell[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// branch is the DFS state carried down one enumeration path.
+type branch struct {
+	idx    int // next pool index to consider
+	chosen int // cells selected so far
+	fromP1 int // how many came from packet 1
+	first  int // pool index of the slot-0 cell (-1 until chosen)
+	tcpSum uint16
+	fpair  fletcher.Pair
+	crcReg uint64
+	eq1    bool
+	eq2    bool
+}
+
+// enumerate walks every candidate splice.
+func (st *pairState) enumerate() {
+	need := st.n2 - 1
+	b := branch{first: -1, eq1: st.sameLen, eq2: true, crcReg: st.crcInitReg}
+	st.walk(b, need)
+}
+
+func (st *pairState) walk(b branch, need int) {
+	if b.chosen == need {
+		st.leaf(b)
+		return
+	}
+	if len(st.pool)-b.idx < need-b.chosen {
+		return // not enough cells left
+	}
+	// Skip pool[idx].
+	skip := b
+	skip.idx++
+	st.walk(skip, need)
+
+	// Take pool[idx] at slot b.chosen.
+	take := b
+	i := b.idx
+	s := b.chosen
+	take.idx++
+	take.chosen++
+	if i < st.m1 {
+		take.fromP1++
+	}
+	if b.first == -1 {
+		take.first = i
+		if st.coverFull {
+			take.tcpSum = onescomp.Add(b.tcpSum, st.sum48[i])
+		} else {
+			take.tcpSum = onescomp.Add(b.tcpSum, st.sumHead[i])
+		}
+		if st.fmod != 0 {
+			take.fpair = st.fmod.Append(b.fpair, atm.PayloadSize-tcpip.IPv4HeaderLen, st.pairHead[i])
+		}
+	} else {
+		take.tcpSum = onescomp.Add(b.tcpSum, st.sum48[i])
+		if st.fmod != 0 {
+			take.fpair = st.fmod.Append(b.fpair, atm.PayloadSize, st.pair48[i])
+		}
+	}
+	if st.cfg.CheckCRC {
+		take.crcReg = crc32Table.RawUpdate(b.crcReg, st.pool[i])
+	}
+	take.eq1 = b.eq1 && st.eq1[i][s]
+	take.eq2 = b.eq2 && st.eq2[i][s]
+	st.sel = append(st.sel, i)
+	st.walk(take, need)
+	st.sel = st.sel[:len(st.sel)-1]
+}
+
+// materializeSDU rebuilds the splice's SDU bytes from the current
+// selection stack plus the pinned last cell.
+func (st *pairState) materializeSDU() []byte {
+	if cap(st.sdubuf) < st.n2*atm.PayloadSize {
+		st.sdubuf = make([]byte, 0, st.n2*atm.PayloadSize)
+	}
+	buf := st.sdubuf[:0]
+	for _, i := range st.sel {
+		buf = append(buf, st.pool[i]...)
+	}
+	buf = append(buf, st.lastCell...)
+	st.sdubuf = buf
+	return buf[:st.l2]
+}
+
+// leaf finalizes one complete splice and classifies it.
+func (st *pairState) leaf(b branch) {
+	if b.fromP1 == 0 {
+		return // the identity: packet 2 undamaged, packet 1 wholly lost
+	}
+	st.counts.Total++
+
+	// Header battery.
+	hdrOK := st.lastHeaderOK
+	if b.first != -1 {
+		hdrOK = st.headerOK[b.first]
+	}
+	if !hdrOK {
+		st.counts.CaughtByHeader++
+		st.emit(b, ClassCaughtByHeader, false, false)
+		return
+	}
+
+	// Transport checksum over the completed splice.
+	ckOK := st.checksumPasses(b)
+
+	// Identical data?
+	identical := b.eq2 || (b.eq1 && st.lastEq1)
+	if identical {
+		st.counts.Identical++
+		if ckOK {
+			st.counts.IdenticalPassedChecksum++
+		} else {
+			st.counts.IdenticalFailedChecksum++
+		}
+		st.emit(b, ClassIdentical, ckOK, false)
+		return
+	}
+
+	st.counts.Remaining++
+	subLen := st.n2 - b.fromP1 // cells taken from packet 2, incl. trailer
+	if subLen >= MaxCells {
+		subLen = MaxCells - 1
+	}
+	st.counts.RemainingByLen[subLen]++
+
+	if ckOK {
+		st.counts.MissedByChecksum++
+		st.counts.MissedByLen[subLen]++
+	}
+	crcOK := false
+	if st.cfg.CheckCRC {
+		reg := crc32Table.RawUpdate(b.crcReg, st.lastCell[:atm.PayloadSize-4])
+		if uint32(crc32Table.RawCRC(reg)) == st.wantCRC {
+			crcOK = true
+			st.counts.MissedByCRC++
+			if ckOK {
+				st.counts.MissedByBoth++
+			}
+		}
+	}
+	class := ClassDetected
+	if ckOK {
+		class = ClassMissed
+	}
+	st.emit(b, class, ckOK, crcOK)
+}
+
+// emit invokes the visitor callback, if any.
+func (st *pairState) emit(b branch, class Class, ckOK, crcOK bool) {
+	if st.visit == nil {
+		return
+	}
+	s := Splice{
+		CellsFromP1:    b.fromP1,
+		CellsFromP2:    st.n2 - b.fromP1,
+		Selection:      st.sel,
+		Class:          class,
+		PassedChecksum: ckOK,
+		PassedCRC:      crcOK,
+	}
+	if st.visitSDU {
+		s.SDU = st.materializeSDU()
+	}
+	st.visit(s)
+}
+
+// checksumPasses evaluates the transport checksum of the completed
+// splice from the branch's incremental state plus the pinned last cell.
+// Runt-packet geometries that invalidate the incremental state fall
+// back to materializing the SDU and running the reference verifier.
+func (st *pairState) checksumPasses(b branch) bool {
+	if st.slowVerify {
+		return tcpip.VerifyPacket(st.materializeSDU(), st.cfg.Opts)
+	}
+	if st.fmod != 0 {
+		acc := st.fmod.Append(b.fpair, st.lastLen, st.pairLast)
+		return acc.A%uint16(st.fmod) == 0 && acc.B%uint16(st.fmod) == 0
+	}
+	// Internet checksum: total sum over pseudo-header + segment (bytes
+	// 20..l2 of the splice), which includes the stored field.
+	total := onescomp.Add(b.tcpSum, st.sumLast)
+	total = onescomp.Add(total, st.pseudo)
+
+	evenField := (st.fieldOff-tcpip.IPv4HeaderLen)%2 == 0
+	if !st.cfg.Opts.NoInvert && evenField {
+		// Standard inverted checksum at an aligned offset: the packet
+		// verifies exactly when the total is a representation of
+		// ones-complement zero.
+		return onescomp.IsZero(total)
+	}
+
+	// Non-inverted or odd-offset fields need the stored value.
+	var stored uint16
+	if st.cfg.Opts.Placement == tcpip.PlacementHeader {
+		cell := st.lastCell
+		if b.first != -1 {
+			cell = st.pool[b.first]
+		}
+		stored = uint16(cell[36])<<8 | uint16(cell[37])
+	} else {
+		off := st.fieldOff - (st.n2-1)*atm.PayloadSize
+		stored = uint16(st.lastCell[off])<<8 | uint16(st.lastCell[off+1])
+	}
+	contrib := stored
+	if !evenField {
+		contrib = onescomp.Swap(stored)
+	}
+	sumZeroed := onescomp.Sub(total, contrib)
+	want := onescomp.Neg(sumZeroed)
+	if st.cfg.Opts.NoInvert {
+		want = sumZeroed
+	}
+	return onescomp.Congruent(stored, want)
+}

@@ -1,0 +1,73 @@
+package splice
+
+import "realsum/internal/atm"
+
+// Class is the final classification of one candidate splice.
+type Class int
+
+const (
+	// ClassCaughtByHeader means the §3.1 TCP/IP header battery fired.
+	ClassCaughtByHeader Class = iota
+	// ClassIdentical means the data matched an original packet (benign).
+	ClassIdentical
+	// ClassDetected means a corrupted splice that CRC or checksum (or
+	// both, depending on configuration) would catch.
+	ClassDetected
+	// ClassMissed means a corrupted splice that passed the transport
+	// checksum — undetected data corruption unless the CRC is present.
+	ClassMissed
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassCaughtByHeader:
+		return "caught-by-header"
+	case ClassIdentical:
+		return "identical"
+	case ClassDetected:
+		return "detected"
+	case ClassMissed:
+		return "missed"
+	}
+	return "unknown"
+}
+
+// Splice describes one enumerated candidate for a visitor.
+type Splice struct {
+	// CellsFromP1 and CellsFromP2 count the splice's provenance (the
+	// pinned trailer cell counts toward P2).
+	CellsFromP1, CellsFromP2 int
+	// Selection holds the chosen pool indices: 0..m1−1 are packet 1's
+	// non-trailer cells, m1.. are packet 2's non-trailer cells.  The
+	// pinned trailer is not included.  The slice is only valid during
+	// the callback.
+	Selection []int
+	// Class is the final classification.
+	Class Class
+	// PassedChecksum and PassedCRC report the individual integrity
+	// checks (PassedCRC is meaningful only when Config.CheckCRC).
+	PassedChecksum bool
+	PassedCRC      bool
+	// SDU is the spliced packet's bytes, valid only during the
+	// callback, and only materialized when Config requests it via
+	// VisitPair's materialize flag.
+	SDU []byte
+}
+
+// VisitPair enumerates every candidate splice of the packet pair and
+// invokes fn for each (identity excluded), returning the aggregate
+// counts.  When materialize is true, each Splice carries its SDU bytes
+// (slower).  The visitor must not retain Selection or SDU.
+func VisitPair(p1, p2 []byte, cfg Config, materialize bool, fn func(Splice)) Counts {
+	cells1, err1 := atm.Segment(p1, 0, 32)
+	cells2, err2 := atm.Segment(p2, 0, 32)
+	if err1 != nil || err2 != nil {
+		return Counts{}
+	}
+	st := newPairState(p1, p2, cells1, cells2, cfg)
+	st.counts.Pairs = 1
+	st.visit = fn
+	st.visitSDU = materialize
+	st.enumerate()
+	return st.counts
+}

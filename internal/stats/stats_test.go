@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEffectiveBits(t *testing.T) {
+	if got := EffectiveBits(1.0 / 1024); math.Abs(got-10) > 1e-9 {
+		t.Errorf("EffectiveBits(2^-10) = %v", got)
+	}
+	if got := EffectiveBits(1.0 / 65536); math.Abs(got-16) > 1e-9 {
+		t.Errorf("EffectiveBits(2^-16) = %v", got)
+	}
+	if !math.IsInf(EffectiveBits(0), 1) {
+		t.Error("EffectiveBits(0) should be +Inf")
+	}
+	// The paper's headline: a miss rate of ~0.1% is a ~10-bit check.
+	if got := EffectiveBits(0.001); got < 9.5 || got > 10.5 {
+		t.Errorf("EffectiveBits(0.001) = %v, want ≈10", got)
+	}
+}
+
+func TestUniformMissRate(t *testing.T) {
+	if UniformMissRate(16) != 1.0/65536 {
+		t.Error("UniformMissRate(16)")
+	}
+	if UniformMissRate(10) != 1.0/1024 {
+		t.Error("UniformMissRate(10)")
+	}
+}
+
+func TestChiSquareUniform(t *testing.T) {
+	if got := ChiSquareUniform([]uint64{10, 10, 10, 10}); got != 0 {
+		t.Errorf("flat counts chi2 = %v", got)
+	}
+	if got := ChiSquareUniform([]uint64{40, 0, 0, 0}); math.Abs(got-120) > 1e-9 {
+		t.Errorf("point mass chi2 = %v, want 120", got)
+	}
+	if ChiSquareUniform(nil) != 0 || ChiSquareUniform([]uint64{0, 0}) != 0 {
+		t.Error("degenerate inputs")
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi := WilsonInterval(0, 0)
+	if lo != 0 || hi != 1 {
+		t.Error("no-trials interval should be [0,1]")
+	}
+	lo, hi = WilsonInterval(50, 100)
+	if lo > 0.5 || hi < 0.5 {
+		t.Errorf("interval [%v, %v] should contain 0.5", lo, hi)
+	}
+	if hi-lo > 0.25 {
+		t.Errorf("interval too wide: [%v, %v]", lo, hi)
+	}
+	lo, hi = WilsonInterval(0, 1000)
+	if lo > 1e-12 || hi > 0.01 {
+		t.Errorf("zero-successes interval [%v, %v]", lo, hi)
+	}
+	lo, hi = WilsonInterval(1000, 1000)
+	if hi != 1 || lo < 0.99 {
+		t.Errorf("all-successes interval [%v, %v]", lo, hi)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 2) != 0.5 || Ratio(1, 0) != 0 {
+		t.Error("Ratio")
+	}
+}
+
+func TestShannonEntropy(t *testing.T) {
+	// Uniform over 256 symbols: exactly 8 bits.
+	uniform := make([]uint64, 256)
+	for i := range uniform {
+		uniform[i] = 7
+	}
+	if got := ShannonEntropy(uniform); math.Abs(got-8) > 1e-12 {
+		t.Errorf("uniform entropy = %v", got)
+	}
+	// Point mass: zero bits.
+	point := make([]uint64, 256)
+	point[42] = 100
+	if got := ShannonEntropy(point); got != 0 {
+		t.Errorf("point-mass entropy = %v", got)
+	}
+	// Two equal symbols: one bit.
+	two := []uint64{5, 5}
+	if got := ShannonEntropy(two); math.Abs(got-1) > 1e-12 {
+		t.Errorf("two-symbol entropy = %v", got)
+	}
+	// Degenerate inputs.
+	if ShannonEntropy(nil) != 0 || ShannonEntropy([]uint64{0, 0}) != 0 {
+		t.Error("empty histogram entropy should be 0")
+	}
+}

@@ -1,0 +1,265 @@
+package tcpip
+
+import (
+	"fmt"
+
+	"realsum/internal/fletcher"
+	"realsum/internal/inet"
+	"realsum/internal/onescomp"
+)
+
+// ChecksumAlg selects the transport checksum algorithm carried in the
+// packets the simulator builds — the comparison axis of Table 8.
+type ChecksumAlg int
+
+const (
+	// AlgTCP is the standard Internet checksum.
+	AlgTCP ChecksumAlg = iota
+	// AlgFletcher255 is ones-complement (mod 255) Fletcher.
+	AlgFletcher255
+	// AlgFletcher256 is twos-complement (mod 256) Fletcher.
+	AlgFletcher256
+)
+
+func (a ChecksumAlg) String() string {
+	switch a {
+	case AlgTCP:
+		return "TCP"
+	case AlgFletcher255:
+		return "F-255"
+	case AlgFletcher256:
+		return "F-256"
+	}
+	return fmt.Sprintf("ChecksumAlg(%d)", int(a))
+}
+
+// Placement selects where the checksum field lives — the comparison axis
+// of Tables 9 and 10.
+type Placement int
+
+const (
+	// PlacementHeader stores the checksum in the TCP header field, as
+	// TCP does: checksum and covered header share fate in a splice (§5.3).
+	PlacementHeader Placement = iota
+	// PlacementTrailer leaves the TCP header checksum field zero and
+	// appends the checksum after the payload, like AAL5's trailer CRC.
+	PlacementTrailer
+)
+
+func (p Placement) String() string {
+	if p == PlacementTrailer {
+		return "trailer"
+	}
+	return "header"
+}
+
+// BuildOptions carries the paper's experimental knobs.
+type BuildOptions struct {
+	// Alg is the transport checksum algorithm.
+	Alg ChecksumAlg
+	// Placement is where the checksum field lives.
+	Placement Placement
+	// NoInvert stores the raw sum instead of its complement in the
+	// checksum field (§6.3's conjecture; measured to make no difference
+	// once the IP header is filled).  Only meaningful for AlgTCP;
+	// Fletcher always performs the sum-to-zero inversion.
+	NoInvert bool
+	// ZeroIPHeader reproduces the SIGCOMM '95 simulator deficiency that
+	// §6.2 corrects: the IP header fields not covered by the TCP
+	// pseudo-header (ID, flags, TTL, TOS, IP checksum) are left zero,
+	// and the checksum treats the in-place IP header bytes as the
+	// pseudo-header (covering the whole packet) instead of building the
+	// RFC 793 pseudo-header.  With a zero payload the header cell then
+	// sums to exactly zero — the "major source of non-zero cells with a
+	// checksum of zero" the paper describes.  The default (false) fills
+	// the whole header, computes the IP checksum and uses the standard
+	// pseudo-header.
+	ZeroIPHeader bool
+}
+
+// TrailerLen is the size of the appended checksum in trailer mode.
+const TrailerLen = 2
+
+// Flow builds the successive TCP segments of one simulated FTP data
+// connection, exactly as §3.2 describes: all header fields filled as if
+// transferring over the loopback interface, the sequence number advanced
+// by each payload length and the IP ID by one per packet.
+type Flow struct {
+	Src, Dst         [4]byte
+	SrcPort, DstPort uint16
+	Window           uint16
+	TTL              uint8
+	Opts             BuildOptions
+
+	seq uint32
+	ack uint32
+	id  uint16
+}
+
+// NewLoopbackFlow returns a flow between 127.0.0.1:20 (ftp-data) and
+// 127.0.0.1:1234, the paper's loopback transfer.
+func NewLoopbackFlow(opts BuildOptions) *Flow {
+	return &Flow{
+		Src:     [4]byte{127, 0, 0, 1},
+		Dst:     [4]byte{127, 0, 0, 1},
+		SrcPort: 20, DstPort: 1234,
+		Window: 8760,
+		TTL:    64,
+		Opts:   opts,
+		seq:    1, ack: 1, id: 1,
+	}
+}
+
+// PacketLen returns the on-the-wire IP packet length for a payload of n
+// bytes under o.
+func (o BuildOptions) PacketLen(n int) int {
+	total := HeadersLen + n
+	if o.Placement == PlacementTrailer {
+		total += TrailerLen
+	}
+	return total
+}
+
+// ChecksumOffset returns the byte offset of the 2-byte checksum field
+// within a packet of total length pktLen under o.
+func (o BuildOptions) ChecksumOffset(pktLen int) int {
+	if o.Placement == PlacementTrailer {
+		return pktLen - TrailerLen
+	}
+	return IPv4HeaderLen + 16
+}
+
+// NextPacket appends the next data segment carrying payload to dst and
+// returns the extended slice, advancing the flow's sequence number and
+// IP ID.  The produced bytes are a complete IPv4 packet.
+func (f *Flow) NextPacket(dst []byte, payload []byte) []byte {
+	total := f.Opts.PacketLen(len(payload))
+	base := len(dst)
+	for i := 0; i < total; i++ {
+		dst = append(dst, 0)
+	}
+	pkt := dst[base:]
+
+	ip := IPv4Header{
+		TotalLength: uint16(total),
+		Protocol:    ProtocolTCP,
+		Src:         f.Src,
+		Dst:         f.Dst,
+	}
+	if !f.Opts.ZeroIPHeader {
+		ip.ID = f.id
+		ip.TTL = f.TTL
+		ip.Flags = 2 // DF
+	}
+	tcp := TCPHeader{
+		SrcPort: f.SrcPort, DstPort: f.DstPort,
+		Seq: f.seq, Ack: f.ack,
+		Flags:  FlagACK | FlagPSH,
+		Window: f.Window,
+	}
+	ip.SerializeTo(pkt)
+	tcp.SerializeTo(pkt[IPv4HeaderLen:])
+	copy(pkt[HeadersLen:], payload)
+
+	f.fillChecksum(pkt)
+	if !f.Opts.ZeroIPHeader {
+		// IP header checksum last, over the final header bytes.
+		pkt[10], pkt[11] = 0, 0
+		ck := inet.Checksum(pkt[:IPv4HeaderLen])
+		putU16(pkt[10:], ck)
+	}
+
+	f.seq += uint32(len(payload))
+	f.id++
+	return dst
+}
+
+// fillChecksum computes and stores the transport checksum of pkt (a
+// complete packet with a zeroed checksum field) per f.Opts.
+func (f *Flow) fillChecksum(pkt []byte) {
+	off := f.Opts.ChecksumOffset(len(pkt))
+	seg := pkt[IPv4HeaderLen:]
+	switch f.Opts.Alg {
+	case AlgTCP:
+		var sum uint16
+		if f.Opts.ZeroIPHeader {
+			// §6.2 artifact: the zeroed in-place IP header serves as
+			// the pseudo-header.
+			sum = inet.Sum(pkt)
+		} else {
+			sum = onescomp.Add(PseudoHeaderSum(f.Src, f.Dst, len(seg)), inet.Sum(seg))
+		}
+		v := onescomp.Neg(sum)
+		if f.Opts.NoInvert {
+			v = sum
+		}
+		putU16(pkt[off:], v)
+	case AlgFletcher255, AlgFletcher256:
+		m := fletcher.Mod255
+		if f.Opts.Alg == AlgFletcher256 {
+			m = fletcher.Mod256
+		}
+		x, y := m.CheckBytes(seg, len(pkt)-off-2)
+		pkt[off], pkt[off+1] = x, y
+	}
+}
+
+// VerifyPacket reports whether the candidate packet's transport checksum
+// is consistent under opts: it recomputes the checksum with the stored
+// field zeroed and compares.  This formulation is exact for every
+// combination of algorithm, placement and inversion, because it mirrors
+// how the field was filled rather than assuming a sum-to-zero identity.
+func VerifyPacket(pkt []byte, opts BuildOptions) bool {
+	if len(pkt) < HeadersLen+TrailerLen {
+		return false
+	}
+	off := opts.ChecksumOffset(len(pkt))
+	stored := getU16(pkt[off:])
+	var ip IPv4Header
+	if err := ip.DecodeFromBytes(pkt); err != nil {
+		return false
+	}
+	seg := pkt[IPv4HeaderLen:]
+	switch opts.Alg {
+	case AlgTCP:
+		// Sum with the field zeroed = total sum minus the field's
+		// contribution.  A trailer field after an odd-length payload
+		// sits at an odd segment offset, where its two bytes straddle a
+		// word boundary and contribute byte-swapped.  (The field offset
+		// has the same parity whether coverage starts at the IP header
+		// or the segment, since the IP header is 20 bytes.)
+		contrib := stored
+		if (off-IPv4HeaderLen)%2 == 1 {
+			contrib = onescomp.Swap(stored)
+		}
+		var sum uint16
+		if opts.ZeroIPHeader {
+			sum = inet.Sum(pkt)
+		} else {
+			sum = onescomp.Add(PseudoHeaderSum(ip.Src, ip.Dst, len(seg)), inet.Sum(seg))
+		}
+		sum = onescomp.Sub(sum, contrib)
+		want := onescomp.Neg(sum)
+		if opts.NoInvert {
+			want = sum
+		}
+		return onescomp.Congruent(stored, want)
+	case AlgFletcher255, AlgFletcher256:
+		m := fletcher.Mod255
+		if opts.Alg == AlgFletcher256 {
+			m = fletcher.Mod256
+		}
+		return m.Verify(seg)
+	}
+	return false
+}
+
+// ValidateHeaders runs the complete §3.1 syntactic header battery on a
+// candidate packet: IP version/IHL/length/protocol (+ IP checksum when
+// the simulation fills IP headers) and the TCP data-offset/flag checks.
+func ValidateHeaders(pkt []byte, opts BuildOptions) error {
+	if err := ValidateIPv4(pkt, !opts.ZeroIPHeader); err != nil {
+		return err
+	}
+	return ValidateTCP(pkt[IPv4HeaderLen:])
+}

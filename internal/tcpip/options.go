@@ -1,0 +1,216 @@
+package tcpip
+
+import (
+	"errors"
+
+	"realsum/internal/fletcher"
+)
+
+// TCP option kinds used here (RFC 793 + RFC 1146, the paper's
+// reference [13]: "TCP Alternate Checksum Options").
+const (
+	OptEOL         = 0
+	OptNOP         = 1
+	OptMSS         = 2
+	OptAltCkReq    = 14 // TCP Alternate Checksum Request
+	OptAltCkData   = 15 // TCP Alternate Checksum Data
+	optFixedHeader = 20
+)
+
+// Alternate checksum algorithm numbers from RFC 1146.
+const (
+	AltSumTCP        = 0 // standard TCP checksum
+	AltSumFletcher8  = 1 // 8-bit Fletcher (16-bit result, fits the field)
+	AltSumFletcher16 = 2 // 16-bit Fletcher (32-bit result, field + option)
+)
+
+// Option is one parsed TCP option.
+type Option struct {
+	Kind byte
+	Data []byte // option data, excluding kind and length octets
+}
+
+// Errors from the option layer.
+var (
+	ErrBadOption    = errors.New("tcpip: malformed TCP option")
+	ErrNoAltSum     = errors.New("tcpip: segment carries no alternate checksum")
+	ErrUnknownAlt   = errors.New("tcpip: unknown alternate checksum number")
+	ErrOddAltLayout = errors.New("tcpip: alternate checksum option at unusable offset")
+)
+
+// ParseOptions walks the options area of a TCP header (the bytes
+// between the fixed header and the data offset).
+func ParseOptions(area []byte) ([]Option, error) {
+	var out []Option
+	for i := 0; i < len(area); {
+		kind := area[i]
+		switch kind {
+		case OptEOL:
+			return out, nil
+		case OptNOP:
+			out = append(out, Option{Kind: OptNOP})
+			i++
+		default:
+			if i+1 >= len(area) {
+				return nil, ErrBadOption
+			}
+			l := int(area[i+1])
+			if l < 2 || i+l > len(area) {
+				return nil, ErrBadOption
+			}
+			out = append(out, Option{Kind: kind, Data: append([]byte(nil), area[i+2:i+l]...)})
+			i += l
+		}
+	}
+	return out, nil
+}
+
+// SerializeOptions encodes options and pads the area to a multiple of
+// four bytes with EOL.
+func SerializeOptions(opts []Option) []byte {
+	var out []byte
+	for _, o := range opts {
+		switch o.Kind {
+		case OptEOL:
+			out = append(out, 0)
+		case OptNOP:
+			out = append(out, 1)
+		default:
+			out = append(out, o.Kind, byte(2+len(o.Data)))
+			out = append(out, o.Data...)
+		}
+	}
+	for len(out)%4 != 0 {
+		out = append(out, OptEOL)
+	}
+	return out
+}
+
+// altSegmentLayout is the fixed option layout BuildAltSegment emits for
+// Fletcher-16: two NOPs, then the 4-byte Alternate Checksum Data option
+// whose 2-byte payload lands at byte offset 24 — exactly 4 words before
+// the checksum field counted from the end, and 4 is invertible mod
+// 65535, which makes the check-word equations solvable (the same
+// adjacency condition Theorem 7's proof needs, one layer up).
+var altSegmentLayout = []Option{{Kind: OptNOP}, {Kind: OptNOP}, {Kind: OptAltCkData, Data: []byte{0, 0}}}
+
+// BuildAltSegment constructs a TCP segment (header + options + payload)
+// whose integrity check is the RFC 1146 alternate checksum alg:
+//
+//	AltSumTCP:        the standard checksum, no options.
+//	AltSumFletcher8:  byte-Fletcher mod 255; its two check bytes occupy
+//	                  the checksum field (sum-to-zero).
+//	AltSumFletcher16: word-Fletcher mod 65535; check words occupy the
+//	                  checksum field and an Alternate Checksum Data
+//	                  option.
+//
+// The segment checksums cover the pseudo-header per RFC 1146 for the
+// standard sum; the Fletcher variants cover the segment bytes
+// (Fletcher has no tradition of pseudo-header coverage, matching how
+// the paper's simulations treat it).
+func BuildAltSegment(src, dst [4]byte, hdr TCPHeader, alg int, payload []byte) ([]byte, error) {
+	var optArea []byte
+	switch alg {
+	case AltSumTCP, AltSumFletcher8:
+	case AltSumFletcher16:
+		optArea = SerializeOptions(altSegmentLayout)
+	default:
+		return nil, ErrUnknownAlt
+	}
+	seg := make([]byte, optFixedHeader+len(optArea)+len(payload))
+	hdr.Checksum = 0
+	hdr.SerializeTo(seg)
+	seg[12] = byte(optFixedHeader+len(optArea)) / 4 << 4
+	copy(seg[optFixedHeader:], optArea)
+	copy(seg[optFixedHeader+len(optArea):], payload)
+
+	switch alg {
+	case AltSumTCP:
+		ck := TCPChecksum(src, dst, seg)
+		putU16(seg[16:], ck)
+	case AltSumFletcher8:
+		x, y := fletcher.Mod255.CheckBytes(seg, len(seg)-18)
+		seg[16], seg[17] = x, y
+	case AltSumFletcher16:
+		x, y := fletcher16CheckWords(seg, 16, 24)
+		putU16(seg[16:], x)
+		putU16(seg[24:], y)
+	}
+	return seg, nil
+}
+
+// VerifyAltSegment verifies a segment built by BuildAltSegment,
+// returning the algorithm it recognized.
+func VerifyAltSegment(src, dst [4]byte, seg []byte) (alg int, ok bool, err error) {
+	if len(seg) < optFixedHeader {
+		return 0, false, ErrTruncated
+	}
+	offset := int(seg[12]>>4) * 4
+	if offset < optFixedHeader || offset > len(seg) {
+		return 0, false, ErrBadOption
+	}
+	opts, err := ParseOptions(seg[optFixedHeader:offset])
+	if err != nil {
+		return 0, false, err
+	}
+	hasData := false
+	for _, o := range opts {
+		if o.Kind == OptAltCkData {
+			hasData = true
+		}
+	}
+	if hasData {
+		s := fletcher.Sum32(seg)
+		return AltSumFletcher16, s.A%65535 == 0 && s.B%65535 == 0, nil
+	}
+	// Without the data option the segment could carry the standard sum
+	// or Fletcher-8; try standard first, then Fletcher-8.
+	if VerifyTCP(src, dst, seg) {
+		return AltSumTCP, true, nil
+	}
+	if fletcher.Mod255.Verify(seg) {
+		return AltSumFletcher8, true, nil
+	}
+	return AltSumTCP, false, nil
+}
+
+// fletcher16CheckWords solves the mod-65535 sum-to-zero equations for
+// two 16-bit check words at even byte offsets xOff and yOff of seg
+// (which must contain zeros there).  With weights counted from the end
+// in 16-bit blocks and Δ = (yOff−xOff)/2, the system
+//
+//	A₀ + x + y       ≡ 0
+//	B₀ + wₓ·x + w_y·y ≡ 0        (wₓ = w_y + Δ)
+//
+// reduces to Δ·x ≡ w_y·A₀ − B₀, solvable whenever gcd(Δ, 65535) = 1.
+func fletcher16CheckWords(seg []byte, xOff, yOff int) (x, y uint16) {
+	const mod = 65535
+	s := fletcher.Sum32(seg)
+	nWords := uint64((len(seg) + 1) / 2)
+	wy := (nWords - uint64(yOff)/2) % mod
+	delta := uint64(yOff-xOff) / 2
+	inv := modInverse(delta%mod, mod)
+	a0, b0 := uint64(s.A), uint64(s.B)
+	rhs := (wy*a0%mod + mod - b0%mod) % mod
+	xv := rhs * inv % mod
+	yv := (2*mod - a0%mod - xv) % mod
+	return uint16(xv), uint16(yv)
+}
+
+// modInverse returns a^-1 mod m for gcd(a, m) = 1, by extended Euclid.
+func modInverse(a, m uint64) uint64 {
+	t, newT := int64(0), int64(1)
+	r, newR := int64(m), int64(a%m)
+	for newR != 0 {
+		q := r / newR
+		t, newT = newT, t-q*newT
+		r, newR = newR, r-q*newR
+	}
+	if r != 1 {
+		panic("tcpip: check-word offset not invertible")
+	}
+	if t < 0 {
+		t += int64(m)
+	}
+	return uint64(t)
+}

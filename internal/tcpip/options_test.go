@@ -1,0 +1,147 @@
+package tcpip
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"realsum/internal/fletcher"
+)
+
+func TestParseSerializeOptionsRoundTrip(t *testing.T) {
+	opts := []Option{
+		{Kind: OptNOP},
+		{Kind: OptMSS, Data: []byte{0x05, 0xB4}},
+		{Kind: OptAltCkReq, Data: []byte{AltSumFletcher8}},
+	}
+	area := SerializeOptions(opts)
+	if len(area)%4 != 0 {
+		t.Fatalf("area not padded: %d", len(area))
+	}
+	got, err := ParseOptions(area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(opts) {
+		t.Fatalf("parsed %d options, want %d", len(got), len(opts))
+	}
+	for i := range opts {
+		if got[i].Kind != opts[i].Kind || !bytes.Equal(got[i].Data, opts[i].Data) {
+			t.Errorf("option %d: %+v vs %+v", i, got[i], opts[i])
+		}
+	}
+}
+
+func TestParseOptionsMalformed(t *testing.T) {
+	cases := [][]byte{
+		{OptMSS},                // kind without length
+		{OptMSS, 1},             // length below 2
+		{OptMSS, 10, 1, 2},      // length beyond area
+		{OptAltCkData, 0, 0, 0}, // zero length
+	}
+	for _, c := range cases {
+		if _, err := ParseOptions(c); err != ErrBadOption {
+			t.Errorf("%v: err = %v, want ErrBadOption", c, err)
+		}
+	}
+	// EOL terminates cleanly, ignoring trailing garbage.
+	got, err := ParseOptions([]byte{OptNOP, OptEOL, 0xFF, 0xFF})
+	if err != nil || len(got) != 1 {
+		t.Errorf("EOL handling: %v, %d options", err, len(got))
+	}
+}
+
+func TestBuildAltSegmentAllAlgorithms(t *testing.T) {
+	src, dst := [4]byte{127, 0, 0, 1}, [4]byte{127, 0, 0, 1}
+	rng := rand.New(rand.NewPCG(1, 1))
+	hdr := TCPHeader{SrcPort: 20, DstPort: 999, Seq: 7, Ack: 3, Flags: FlagACK, Window: 4096}
+	for _, alg := range []int{AltSumTCP, AltSumFletcher8, AltSumFletcher16} {
+		for trial := 0; trial < 100; trial++ {
+			payload := make([]byte, rng.IntN(400))
+			for i := range payload {
+				payload[i] = byte(rng.Uint32())
+			}
+			seg, err := BuildAltSegment(src, dst, hdr, alg, payload)
+			if err != nil {
+				t.Fatalf("alg %d: %v", alg, err)
+			}
+			gotAlg, ok, err := VerifyAltSegment(src, dst, seg)
+			if err != nil || !ok {
+				t.Fatalf("alg %d payload %d: verify = (%d, %v, %v)", alg, len(payload), gotAlg, ok, err)
+			}
+			if gotAlg != alg {
+				t.Fatalf("alg %d recognized as %d", alg, gotAlg)
+			}
+			// Any single-byte corruption of the payload is caught
+			// (Fletcher-8 may miss a 0x00<->0xFF flip; use a safe delta).
+			if len(payload) > 0 {
+				pos := len(seg) - 1 - rng.IntN(len(payload))
+				seg[pos] ^= 0x11
+				if _, ok, _ := VerifyAltSegment(src, dst, seg); ok {
+					t.Fatalf("alg %d: corruption at %d passed", alg, pos)
+				}
+				seg[pos] ^= 0x11
+			}
+		}
+	}
+}
+
+func TestBuildAltSegmentUnknownAlg(t *testing.T) {
+	if _, err := BuildAltSegment([4]byte{}, [4]byte{}, TCPHeader{}, 99, nil); err != ErrUnknownAlt {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAltSegmentFletcher16Layout(t *testing.T) {
+	src, dst := [4]byte{10, 0, 0, 1}, [4]byte{10, 0, 0, 2}
+	seg, err := BuildAltSegment(src, dst, TCPHeader{Flags: FlagACK}, AltSumFletcher16, []byte("payload data here"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Data offset must cover the 8-byte option area.
+	if off := int(seg[12]>>4) * 4; off != 28 {
+		t.Errorf("data offset %d, want 28", off)
+	}
+	// The whole segment word-Fletcher-sums to zero mod 65535.
+	s := fletcher.Sum32(seg)
+	if s.A%65535 != 0 || s.B%65535 != 0 {
+		t.Errorf("segment sums to (%d, %d)", s.A, s.B)
+	}
+	// The option parses back with the check word in its data.
+	opts, err := ParseOptions(seg[20:28])
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, o := range opts {
+		if o.Kind == OptAltCkData && len(o.Data) == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Alternate Checksum Data option missing")
+	}
+}
+
+func TestAltSegmentOddPayloads(t *testing.T) {
+	// Odd-length payloads exercise the zero-padded final word.
+	src, dst := [4]byte{1, 1, 1, 1}, [4]byte{2, 2, 2, 2}
+	for n := 0; n < 9; n++ {
+		seg, err := BuildAltSegment(src, dst, TCPHeader{Flags: FlagACK}, AltSumFletcher16, make([]byte, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, _ := VerifyAltSegment(src, dst, seg); !ok {
+			t.Errorf("payload %d: does not verify", n)
+		}
+	}
+}
+
+func TestModInverse(t *testing.T) {
+	for _, a := range []uint64{1, 2, 4, 7, 11, 16384, 65534} {
+		inv := modInverse(a, 65535)
+		if a*inv%65535 != 1 {
+			t.Errorf("modInverse(%d) = %d", a, inv)
+		}
+	}
+}
