@@ -317,8 +317,20 @@ func BenchmarkAblation_PartialVsFull(b *testing.B) {
 	p2 := flow.NextPacket(nil, payload)
 	cfg := splice.Config{Opts: tcpip.BuildOptions{}, CheckCRC: true}
 	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			splice.EnumeratePair(p1, p2, cfg)
+		}
+	})
+	// ...vs the steady-state production path: one warm enumerator reused
+	// across pairs (affine CRC slot tables + zero allocation).
+	b.Run("reused-enumerator", func(b *testing.B) {
+		e := splice.NewEnumerator()
+		e.Pair(p1, p2, cfg)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Pair(p1, p2, cfg)
 		}
 	})
 	// ...vs the naive cost model: 924 splices × recomputing sum+CRC

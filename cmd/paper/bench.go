@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"realsum/internal/corpus"
+	"realsum/internal/sim"
+)
+
+// benchRecord is one line of BENCH_splice.json: the headline cost
+// metrics of a Table 1–3 splice simulation, in the units `go test
+// -bench -benchmem` reports so trajectories can be compared directly.
+type benchRecord struct {
+	Name        string  `json:"name"`
+	Scale       float64 `json:"scale"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  uint64  `json:"corpus_bytes_per_op"`
+	PairsPerOp  uint64  `json:"pairs_per_op"`
+	MissRate    float64 `json:"tcp_miss_rate"`
+}
+
+// runBenchJSON times the Tables 1–3 splice simulations (CRC check on,
+// as the tables require) and writes the records to path.  Corpus
+// construction happens outside the timed region: the records measure
+// the simulation engine, which is what the perf trajectory tracks.
+func runBenchJSON(path string, scale float64, iters int) error {
+	if iters < 1 {
+		return fmt.Errorf("-benchiters must be >= 1 (got %d)", iters)
+	}
+	groups := []struct{ name, substr string }{
+		{"Table1_NSC", "nsc"},
+		{"Table2_SICS", "sics"},
+		{"Table3_Stanford", "stanford"},
+	}
+	var records []benchRecord
+	for _, g := range groups {
+		var walkers []corpus.Walker
+		var names []string
+		for _, p := range corpus.AllProfiles() {
+			if !strings.Contains(strings.ToLower(p.Name), g.substr) {
+				continue
+			}
+			walkers = append(walkers, p.Scale(scale).Build())
+			names = append(names, p.Name)
+		}
+		if len(walkers) == 0 {
+			return fmt.Errorf("no profiles match %q", g.substr)
+		}
+
+		opt := sim.Options{CheckCRC: true}
+		var bytes, pairs, missed, remaining uint64
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		for it := 0; it < iters; it++ {
+			bytes, pairs, missed, remaining = 0, 0, 0, 0
+			for i, w := range walkers {
+				res, err := sim.Run(w, names[i], opt)
+				if err != nil {
+					return fmt.Errorf("%s: %w", names[i], err)
+				}
+				bytes += res.Bytes
+				pairs += res.Pairs
+				missed += res.MissedByChecksum
+				remaining += res.Remaining
+			}
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&m1)
+
+		nsPerOp := float64(elapsed.Nanoseconds()) / float64(iters)
+		rec := benchRecord{
+			Name:        g.name,
+			Scale:       scale,
+			Iterations:  iters,
+			NsPerOp:     nsPerOp,
+			MBPerS:      float64(bytes) / (nsPerOp / 1e9) / 1e6,
+			AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(iters),
+			BytesPerOp:  bytes,
+			PairsPerOp:  pairs,
+		}
+		if remaining > 0 {
+			rec.MissRate = float64(missed) / float64(remaining)
+		}
+		records = append(records, rec)
+		fmt.Fprintf(os.Stderr, "[bench %s: %.0f ms/op, %.1f MB/s, %.0f allocs/op]\n",
+			g.name, nsPerOp/1e6, rec.MBPerS, rec.AllocsPerOp)
+	}
+
+	out, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	return os.WriteFile(path, out, 0o644)
+}

@@ -5,10 +5,15 @@
 // Usage:
 //
 //	paper [-scale 1.0] [-run table1,figure2,...]
+//	paper -benchjson BENCH_splice.json [-scale 0.05] [-benchiters 3]
 //
 // With no -run flag every experiment runs in paper order.  The -scale
 // flag multiplies the corpus sizes (1.0 ≈ a few MB per file system; the
 // paper's originals were GBs — scale up if you have the minutes).
+//
+// -benchjson times the Table 1–3 splice simulations instead of printing
+// tables, writing ns/op, MB/s and allocs/op records that seed the
+// repository's performance trajectory.
 package main
 
 import (
@@ -25,7 +30,17 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "corpus scale factor")
 	run := flag.String("run", "", "comma-separated experiments (default: all): table1..table10, figure2, figure3, effectivebits, ablations, pathological")
 	list := flag.Bool("list", false, "list experiment names and exit")
+	benchjson := flag.String("benchjson", "", "time the Table 1–3 splice simulations and write ns/op, MB/s and allocs/op records to this file (e.g. BENCH_splice.json), then exit")
+	benchIters := flag.Int("benchiters", 3, "iterations per -benchjson record")
 	flag.Parse()
+
+	if *benchjson != "" {
+		if err := runBenchJSON(*benchjson, *scale, *benchIters); err != nil {
+			fmt.Fprintf(os.Stderr, "paper: benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	names := []string{
 		"table1", "table2", "table3", "figure2", "figure3", "table4",

@@ -33,6 +33,8 @@ func main() {
 	zeroip := flag.Bool("zeroip", false, "reproduce the §6.2 zeroed-IP-header artifact")
 	segment := flag.Int("segment", sim.DefaultSegmentSize, "TCP payload bytes per packet")
 	scale := flag.Float64("scale", 1.0, "profile scale factor")
+	workers := flag.Int("workers", 0, "parallel workers (default GOMAXPROCS)")
+	worst := flag.Int("worst", 0, "report the N files with the most checksum misses (§5.5)")
 	listProfiles := flag.Bool("profiles", false, "list known profiles and exit")
 	flag.Parse()
 
@@ -47,6 +49,8 @@ func main() {
 		SegmentSize: *segment,
 		CheckCRC:    !*nocrc,
 		Compress:    *compress,
+		Workers:     *workers,
+		TrackWorst:  *worst,
 	}
 	switch *alg {
 	case "tcp":
@@ -91,6 +95,12 @@ func main() {
 	fmt.Printf("\n(%d files, %s packets, %s bytes, checksum=%v placement=%v compress=%v)\n",
 		res.Files, report.Count(res.Packets), report.Count(res.Bytes),
 		opt.Build.Alg, opt.Build.Placement, *compress)
+	if len(res.WorstFiles) > 0 {
+		fmt.Printf("\nworst files by checksum misses:\n")
+		for _, f := range res.WorstFiles {
+			fmt.Printf("  %8d missed / %8d remaining  %s\n", f.Missed, f.Remaining, f.Path)
+		}
+	}
 }
 
 func fatal(format string, args ...any) {

@@ -152,6 +152,12 @@ func decodeTrailer(lastPayload []byte) Trailer {
 	}
 }
 
+// DecodeTrailer reads the CPCS trailer from the final TrailerSize bytes
+// of the last cell's payload, without any framing validation or
+// allocation — for callers (like the splice enumerator) that built the
+// cells themselves and only need the carried length and CRC.
+func DecodeTrailer(lastPayload []byte) Trailer { return decodeTrailer(lastPayload) }
+
 // CellCount returns the number of cells AAL5 needs for an SDU of n
 // bytes: the SDU plus the 8-byte trailer, rounded up to whole cells.
 func CellCount(n int) int {
@@ -162,27 +168,39 @@ func CellCount(n int) int {
 // virtual circuit.  The last cell has the end-of-packet PTI bit set and
 // its final 8 bytes hold the CPCS trailer; all padding is zero.
 func Segment(sdu []byte, vpi uint8, vci uint16) ([]Cell, error) {
+	return AppendSegment(nil, sdu, vpi, vci)
+}
+
+// AppendSegment appends the AAL5 cell sequence carrying sdu to cells
+// and returns the extended slice.  It reuses the slice's capacity and
+// performs no other allocation, so a caller segmenting a packet stream
+// (the splice enumerator's steady state) can recycle one buffer.
+func AppendSegment(cells []Cell, sdu []byte, vpi uint8, vci uint16) ([]Cell, error) {
 	if len(sdu) > MaxSDU {
-		return nil, ErrTooLong
+		return cells, ErrTooLong
 	}
 	n := CellCount(len(sdu))
-	pduLen := n * PayloadSize
-	pdu := make([]byte, pduLen)
-	copy(pdu, sdu)
-	t := pdu[pduLen-TrailerSize:]
+	base := len(cells)
+	for i := 0; i < n; i++ {
+		// The composite literal zeroes the payload, so reused capacity
+		// carries no stale padding bytes.
+		cells = append(cells, Cell{Header: Header{VPI: vpi, VCI: vci}})
+	}
+	out := cells[base:]
+	out[n-1].Header.PTI = 1
+	for i := 0; i < n && i*PayloadSize < len(sdu); i++ {
+		copy(out[i].Payload[:], sdu[i*PayloadSize:])
+	}
+	t := out[n-1].Payload[PayloadSize-TrailerSize:]
 	t[0], t[1] = 0, 0 // UU, CPI
 	t[2], t[3] = byte(len(sdu)>>8), byte(len(sdu))
-	c := uint32(aal5CRC.Checksum(pdu[:pduLen-4]))
-	t[4], t[5], t[6], t[7] = byte(c>>24), byte(c>>16), byte(c>>8), byte(c)
-
-	cells := make([]Cell, n)
-	for i := range cells {
-		cells[i].Header = Header{VPI: vpi, VCI: vci}
-		if i == n-1 {
-			cells[i].Header.PTI = 1
-		}
-		copy(cells[i].Payload[:], pdu[i*PayloadSize:])
+	reg := aal5CRC.RawInit()
+	for i := 0; i < n-1; i++ {
+		reg = aal5CRC.RawUpdate(reg, out[i].Payload[:])
 	}
+	reg = aal5CRC.RawUpdate(reg, out[n-1].Payload[:PayloadSize-4])
+	c := uint32(aal5CRC.RawCRC(reg))
+	t[4], t[5], t[6], t[7] = byte(c>>24), byte(c>>16), byte(c>>8), byte(c)
 	return cells, nil
 }
 

@@ -1,0 +1,81 @@
+package crc
+
+// This file exposes the affine structure of the raw register update to
+// callers that classify many variants of one message — most importantly
+// the splice enumerator, which checks hundreds of cell selections per
+// packet pair against one AAL5 CRC.
+//
+// The table update is linear over GF(2) in the pair (register, input):
+// for a message M of n bytes,
+//
+//	update(I, M) = update(I, 0ⁿ) ⊕ update(0, M)
+//
+// and update(0, M) itself decomposes over any partition of M into
+// fixed-position slots, each slot's bytes contributing
+// shift(update(0, slot), 8·bytesAfterSlot) independently of what the
+// other slots hold.  A caller that precomputes those contributions can
+// evaluate the CRC of any slot assignment with one XOR per slot and
+// compare against a target register with one integer comparison.
+
+// zeroBytes feeds the table-driven path of RawShift; the slicing-by-8
+// kernel consumes it 8 bytes per step.
+var zeroBytes [512]byte
+
+// rawShiftCrossover is the zero-byte count above which the O(log n)
+// square-and-multiply operator path beats the O(n) table loop.  The
+// operator path costs ~log2(8n) matrix squarings of 64×64 bits each, a
+// few tens of thousands of word operations, while the table loop costs
+// n/8 slicing steps.
+const rawShiftCrossover = 64 * 1024
+
+// RawShift advances a raw register over n zero input bytes — the
+// multiply-by-x^(8n) primitive of the affine decomposition.  It is
+// equivalent to RawUpdate(reg, make([]byte, n)) without materializing
+// the zeros.
+func (t *Table) RawShift(reg uint64, n int) uint64 {
+	if n < 0 {
+		panic("crc: RawShift with negative length")
+	}
+	if n >= rawShiftCrossover {
+		return t.shiftReg(reg, uint64(n)*8)
+	}
+	for n > len(zeroBytes) {
+		reg = t.update(reg, zeroBytes[:])
+		n -= len(zeroBytes)
+	}
+	return t.update(reg, zeroBytes[:n])
+}
+
+// RawFromCRC converts a published CRC value back into a raw register in
+// the table's internal alignment — the inverse of RawCRC.  It lets a
+// caller hoist the output transformation out of a comparison loop:
+// instead of finalizing every candidate register, unfinalize the target
+// once and compare raw registers directly.
+func (t *Table) RawFromCRC(crc uint64) uint64 { return t.unfinalizeReg(crc) }
+
+// SlotContribs fills dst[s], for each of the len(dst) slots, with the
+// raw-register contribution of data when its bytes occupy slot s of a
+// larger message.  Slot s starts at byte offset s·stride and is
+// followed by (len(dst)−1−s)·stride + tail further message bytes.
+//
+// With I the initial raw register and cell_s the bytes chosen for slot
+// s, the register after the whole message is
+//
+//	RawShift(I, totalLen) ⊕ Σ_s contrib(cell_s, s)
+//
+// so an enumeration over slot assignments pays one XOR per slot instead
+// of one table pass per byte.
+func (t *Table) SlotContribs(dst []uint64, data []byte, stride, tail int) {
+	if len(dst) == 0 {
+		return
+	}
+	if stride < 0 || tail < 0 {
+		panic("crc: SlotContribs with negative geometry")
+	}
+	c := t.RawShift(t.update(0, data), tail)
+	dst[len(dst)-1] = c
+	for s := len(dst) - 2; s >= 0; s-- {
+		c = t.RawShift(c, stride)
+		dst[s] = c
+	}
+}

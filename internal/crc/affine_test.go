@@ -1,0 +1,140 @@
+package crc
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// affineParams covers both register alignments (reflected and
+// left-aligned) and a spread of widths.
+var affineParams = []Params{CRC32, CRC32C, CRC10, CRC16, CRC16CCITT, CRC16XMODEM, CRC8HEC, CRC64}
+
+func TestRawShiftMatchesZeroUpdate(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	lens := []int{0, 1, 2, 7, 8, 44, 48, 511, 512, 513, 1000, 4096}
+	for _, p := range affineParams {
+		tab := New(p)
+		reg := tab.RawInit()
+		for _, n := range lens {
+			zeros := make([]byte, n)
+			if got, want := tab.RawShift(reg, n), tab.RawUpdate(reg, zeros); got != want {
+				t.Errorf("%s: RawShift(init, %d) = %#x, want %#x", p.Name, n, got, want)
+			}
+			// Also from a data-derived register.
+			msg := make([]byte, 37)
+			for i := range msg {
+				msg[i] = byte(rng.Uint32())
+			}
+			r2 := tab.RawUpdate(reg, msg)
+			if got, want := tab.RawShift(r2, n), tab.RawUpdate(r2, zeros); got != want {
+				t.Errorf("%s: RawShift(reg, %d) = %#x, want %#x", p.Name, n, got, want)
+			}
+		}
+	}
+}
+
+func TestRawShiftCrossoverAgrees(t *testing.T) {
+	// The table loop below the crossover and the square-and-multiply
+	// operator above it must implement the same map.
+	for _, p := range []Params{CRC32, CRC16XMODEM} {
+		tab := New(p)
+		reg := tab.RawUpdate(tab.RawInit(), []byte("crossover probe"))
+		n := rawShiftCrossover + 13
+		want := tab.RawUpdate(reg, make([]byte, n))
+		if got := tab.RawShift(reg, n); got != want {
+			t.Errorf("%s: RawShift above crossover = %#x, want %#x", p.Name, got, want)
+		}
+	}
+}
+
+func TestRawFromCRCInvertsRawCRC(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	for _, p := range affineParams {
+		tab := New(p)
+		msg := make([]byte, 64)
+		for trial := 0; trial < 8; trial++ {
+			for i := range msg {
+				msg[i] = byte(rng.Uint32())
+			}
+			reg := tab.RawUpdate(tab.RawInit(), msg)
+			crc := tab.RawCRC(reg)
+			if back := tab.RawFromCRC(crc); back != reg {
+				t.Errorf("%s: RawFromCRC(RawCRC(%#x)) = %#x", p.Name, reg, back)
+			}
+			if crc != tab.Checksum(msg) {
+				t.Errorf("%s: raw pipeline disagrees with Checksum", p.Name)
+			}
+		}
+	}
+}
+
+// TestSlotContribsDecomposition is the identity the splice fast path
+// rests on: base ⊕ Σ contrib[slot] equals the register of the whole
+// message, for every algorithm and assorted geometries.
+func TestSlotContribsDecomposition(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	type geom struct{ slots, stride, tail int }
+	geoms := []geom{
+		{1, 48, 44}, {6, 48, 44}, {3, 48, 0}, {5, 17, 9}, {2, 48, 48},
+	}
+	for _, p := range affineParams {
+		tab := New(p)
+		for _, g := range geoms {
+			total := g.slots*g.stride + g.tail
+			msg := make([]byte, total)
+			for i := range msg {
+				msg[i] = byte(rng.Uint32())
+			}
+			base := tab.RawShift(tab.RawInit(), total)
+			if g.tail > 0 {
+				base ^= tab.RawUpdate(0, msg[g.slots*g.stride:])
+			}
+			acc := base
+			contrib := make([]uint64, g.slots)
+			for s := 0; s < g.slots; s++ {
+				cell := msg[s*g.stride : s*g.stride+g.stride]
+				tab.SlotContribs(contrib, cell, g.stride, g.tail+(0)*g.stride)
+				// SlotContribs fills every slot's contribution for this
+				// cell; pick the one where the cell actually sits.
+				acc ^= contrib[s]
+			}
+			want := tab.RawUpdate(tab.RawInit(), msg)
+			if acc != want {
+				t.Errorf("%s: geom %+v: affine register %#x, want %#x", p.Name, g, acc, want)
+			}
+			if tab.RawCRC(acc) != tab.Checksum(msg) {
+				t.Errorf("%s: geom %+v: finalized CRC mismatch", p.Name, g)
+			}
+		}
+	}
+}
+
+// TestSlotContribsAgainstShiftReg pins each contribution to its
+// first-principles definition via the existing combine operator.
+func TestSlotContribsAgainstShiftReg(t *testing.T) {
+	tab := New(CRC32)
+	cell := []byte("forty-eight bytes of cell payload, more or less!")[:48]
+	const slots, stride, tail = 6, 48, 44
+	var got [slots]uint64
+	tab.SlotContribs(got[:], cell, stride, tail)
+	for s := 0; s < slots; s++ {
+		after := (slots-1-s)*stride + tail
+		want := tab.shiftReg(tab.RawUpdate(0, cell), uint64(after)*8)
+		if got[s] != want {
+			t.Errorf("slot %d: contrib %#x, want %#x", s, got[s], want)
+		}
+	}
+}
+
+func BenchmarkSlotContribs(b *testing.B) {
+	tab := New(CRC32)
+	cell := make([]byte, 48)
+	for i := range cell {
+		cell[i] = byte(i * 7)
+	}
+	var dst [6]uint64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab.SlotContribs(dst[:], cell, 48, 44)
+	}
+}

@@ -8,7 +8,6 @@ package sim
 
 import (
 	"runtime"
-	"sort"
 	"sync"
 
 	"realsum/internal/corpus"
@@ -81,38 +80,44 @@ type Result struct {
 // every splice of adjacent segments.  Files are processed in parallel;
 // the result is deterministic because per-file state is independent and
 // aggregation is commutative.
+//
+// Aggregation is sharded: each worker accumulates into a private
+// Result and a bounded top-K heap (TrackWorst entries), holding no lock
+// on the per-file path; the shards merge once after the walk drains.
 func Run(w corpus.Walker, name string, opt Options) (Result, error) {
-	res := Result{System: name}
-	var mu sync.Mutex
-	var wg sync.WaitGroup
+	nw := opt.workers()
 	type job struct {
 		path string
 		data []byte
 	}
-	jobs := make(chan job, opt.workers())
-	var worst []FileMisses
+	jobs := make(chan job, nw)
+	shards := make([]Result, nw)
+	heaps := make([]*topK, nw)
+	var wg sync.WaitGroup
 
-	for i := 0; i < opt.workers(); i++ {
+	for i := 0; i < nw; i++ {
 		wg.Add(1)
-		go func() {
+		go func(id int) {
 			defer wg.Done()
+			r := newFileRunner(opt)
+			shard := &shards[id]
+			h := newTopK(opt.TrackWorst)
 			for j := range jobs {
-				counts, packets := processFile(j.data, opt)
-				mu.Lock()
-				res.Counts.Add(counts)
-				res.Files++
-				res.Packets += packets
-				res.Bytes += uint64(len(j.data))
+				counts, packets := r.run(j.data)
+				shard.Counts.Add(counts)
+				shard.Files++
+				shard.Packets += packets
+				shard.Bytes += uint64(len(j.data))
 				if opt.TrackWorst > 0 && counts.Remaining > 0 {
-					worst = append(worst, FileMisses{
+					h.offer(FileMisses{
 						Path:      j.path,
 						Remaining: counts.Remaining,
 						Missed:    counts.MissedByChecksum,
 					})
 				}
-				mu.Unlock()
 			}
-		}()
+			heaps[id] = h
+		}(i)
 	}
 
 	err := w.Walk(func(path string, data []byte) error {
@@ -125,44 +130,64 @@ func Run(w corpus.Walker, name string, opt Options) (Result, error) {
 	close(jobs)
 	wg.Wait()
 
+	res := Result{System: name}
+	merged := newTopK(opt.TrackWorst)
+	for i := range shards {
+		res.Counts.Add(shards[i].Counts)
+		res.Files += shards[i].Files
+		res.Packets += shards[i].Packets
+		res.Bytes += shards[i].Bytes
+		merged.merge(heaps[i])
+	}
 	if opt.TrackWorst > 0 {
-		sort.Slice(worst, func(i, j int) bool {
-			if worst[i].Missed != worst[j].Missed {
-				return worst[i].Missed > worst[j].Missed
-			}
-			return worst[i].Path < worst[j].Path
-		})
-		if len(worst) > opt.TrackWorst {
-			worst = worst[:opt.TrackWorst]
-		}
-		res.WorstFiles = worst
+		res.WorstFiles = merged.sorted()
 	}
 	return res, err
 }
 
-// processFile simulates one file's transfer and enumerates splices of
-// every adjacent packet pair.  Two packet buffers alternate so the
-// whole transfer runs without per-packet allocation.
-func processFile(data []byte, opt Options) (splice.Counts, uint64) {
-	seg := opt.segmentSize()
-	cfg := splice.Config{Opts: opt.Build, CheckCRC: opt.CheckCRC}
-	flow := tcpip.NewLoopbackFlow(opt.Build)
+// fileRunner holds one worker's reusable simulation state: the splice
+// enumerator and the alternating packet buffers.  After warm-up, a
+// runner processes packet pairs with zero allocations.
+type fileRunner struct {
+	opt  Options
+	seg  int
+	cfg  splice.Config
+	enum *splice.Enumerator
+	flow tcpip.Flow
+	bufs [2][]byte
+}
+
+func newFileRunner(opt Options) *fileRunner {
+	return &fileRunner{
+		opt:  opt,
+		seg:  opt.segmentSize(),
+		cfg:  splice.Config{Opts: opt.Build, CheckCRC: opt.CheckCRC},
+		enum: splice.NewEnumerator(),
+	}
+}
+
+// run simulates one file's transfer and enumerates splices of every
+// adjacent packet pair.  Two packet buffers alternate so the whole
+// transfer runs without per-packet allocation.
+func (r *fileRunner) run(data []byte) (splice.Counts, uint64) {
+	// Each file gets a fresh flow (sequence numbers and IP IDs restart);
+	// the copy through the inlined constructor stays off the heap.
+	r.flow = *tcpip.NewLoopbackFlow(r.opt.Build)
 
 	var counts splice.Counts
 	var packets uint64
-	var bufs [2][]byte
 	var prev []byte
-	for off := 0; off < len(data); off += seg {
-		end := off + seg
+	for off := 0; off < len(data); off += r.seg {
+		end := off + r.seg
 		if end > len(data) {
 			end = len(data)
 		}
 		slot := int(packets) & 1
-		pkt := flow.NextPacket(bufs[slot][:0], data[off:end])
-		bufs[slot] = pkt[:0]
+		pkt := r.flow.NextPacket(r.bufs[slot][:0], data[off:end])
+		r.bufs[slot] = pkt[:0]
 		packets++
 		if prev != nil {
-			counts.Add(splice.EnumeratePair(prev, pkt, cfg))
+			counts.Add(r.enum.Pair(prev, pkt, r.cfg))
 		}
 		prev = pkt
 	}

@@ -1,0 +1,95 @@
+package sim
+
+import "sort"
+
+// topK keeps the k best FileMisses seen so far in a bounded min-heap,
+// so tracking the worst files of an arbitrarily large corpus costs
+// O(k) memory instead of retaining every file with misses.
+//
+// "Best" follows the report ordering: more Missed first, then Path
+// ascending as the deterministic tie-break.  The heap root is the
+// weakest retained entry; an offer that does not beat it is dropped.
+type topK struct {
+	k     int
+	items []FileMisses
+}
+
+func newTopK(k int) *topK { return &topK{k: k} }
+
+// beats reports whether a outranks b in the final report ordering.
+func beats(a, b FileMisses) bool {
+	if a.Missed != b.Missed {
+		return a.Missed > b.Missed
+	}
+	return a.Path < b.Path
+}
+
+// offer considers f for retention.
+func (t *topK) offer(f FileMisses) {
+	if t.k <= 0 {
+		return
+	}
+	if len(t.items) < t.k {
+		t.items = append(t.items, f)
+		t.siftUp(len(t.items) - 1)
+		return
+	}
+	if !beats(f, t.items[0]) {
+		return // weaker than the weakest retained entry
+	}
+	t.items[0] = f
+	t.siftDown(0)
+}
+
+func (t *topK) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		// Min-heap on the report order: the weakest entry rises to the
+		// root, so a parent must NOT beat... i.e. must be weaker than or
+		// equal to its children.
+		if beats(t.items[i], t.items[parent]) {
+			return
+		}
+		t.items[i], t.items[parent] = t.items[parent], t.items[i]
+		i = parent
+	}
+}
+
+func (t *topK) siftDown(i int) {
+	n := len(t.items)
+	for {
+		weakest := i
+		for _, c := range []int{2*i + 1, 2*i + 2} {
+			if c < n && !beats(t.items[c], t.items[weakest]) {
+				weakest = c
+			}
+		}
+		if weakest == i {
+			return
+		}
+		t.items[i], t.items[weakest] = t.items[weakest], t.items[i]
+		i = weakest
+	}
+}
+
+// merge folds o's retained entries into t.
+func (t *topK) merge(o *topK) {
+	if o == nil {
+		return
+	}
+	for _, f := range o.items {
+		t.offer(f)
+	}
+}
+
+// sorted returns the retained entries best-first (most Missed first,
+// Path ascending on ties).  The heap is consumed conceptually but the
+// backing slice is returned directly; do not reuse t afterwards.
+func (t *topK) sorted() []FileMisses {
+	if len(t.items) == 0 {
+		return nil
+	}
+	out := t.items
+	sort.Slice(out, func(i, j int) bool { return beats(out[i], out[j]) })
+	return out
+}

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+// naiveTopK is the reference the heap must match: keep everything,
+// sort, truncate.
+func naiveTopK(all []FileMisses, k int) []FileMisses {
+	s := append([]FileMisses(nil), all...)
+	sort.Slice(s, func(i, j int) bool { return beats(s[i], s[j]) })
+	if len(s) > k {
+		s = s[:k]
+	}
+	if len(s) == 0 {
+		return nil
+	}
+	return s
+}
+
+func randomMisses(rng *rand.Rand, n int) []FileMisses {
+	out := make([]FileMisses, n)
+	for i := range out {
+		out[i] = FileMisses{
+			Path:      fmt.Sprintf("f%04d", i),
+			Remaining: uint64(rng.IntN(500) + 1),
+			Missed:    uint64(rng.IntN(6)), // small range forces ties
+		}
+	}
+	return out
+}
+
+func TestTopKMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 37))
+	for _, n := range []int{0, 1, 3, 10, 100, 1000} {
+		for _, k := range []int{1, 3, 7, 50} {
+			all := randomMisses(rng, n)
+			h := newTopK(k)
+			for _, f := range all {
+				h.offer(f)
+			}
+			got := h.sorted()
+			want := naiveTopK(all, k)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d k=%d: got %d entries, want %d", n, k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("n=%d k=%d: entry %d = %+v, want %+v", n, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTopKMergeIsPartitionInvariant is the sharded-aggregation
+// property sim.Run relies on: splitting the offers across any number
+// of worker-local heaps and merging yields the same result as one
+// global heap, regardless of the partition.
+func TestTopKMergeIsPartitionInvariant(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	all := randomMisses(rng, 400)
+	const k = 9
+	want := naiveTopK(all, k)
+	for _, shards := range []int{1, 2, 3, 8, 16} {
+		hs := make([]*topK, shards)
+		for i := range hs {
+			hs[i] = newTopK(k)
+		}
+		for i, f := range all {
+			hs[i%shards].offer(f)
+		}
+		merged := newTopK(k)
+		for _, h := range hs {
+			merged.merge(h)
+		}
+		got := merged.sorted()
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: got %d entries, want %d", shards, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("shards=%d: entry %d = %+v, want %+v", shards, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTopKZeroDisabled(t *testing.T) {
+	h := newTopK(0)
+	h.offer(FileMisses{Path: "x", Missed: 5})
+	if got := h.sorted(); got != nil {
+		t.Errorf("k=0 retained %v", got)
+	}
+	h = newTopK(-1)
+	h.offer(FileMisses{Path: "x", Missed: 5})
+	if h.sorted() != nil {
+		t.Error("negative k retained entries")
+	}
+}
+
+// TestFileRunnerSteadyStateZeroAllocs asserts the per-pair steady state
+// of the whole per-file pipeline — packet building, segmentation and
+// splice enumeration — allocates nothing once the runner is warm.
+func TestFileRunnerSteadyStateZeroAllocs(t *testing.T) {
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(i * 131 % 251)
+	}
+	for _, opt := range []Options{
+		{CheckCRC: true},
+		{},
+	} {
+		r := newFileRunner(opt)
+		r.run(data) // warm buffers
+		avg := testing.AllocsPerRun(20, func() {
+			r.run(data)
+		})
+		if avg != 0 {
+			t.Errorf("opt %+v: steady-state file run allocates %.1f objects, want 0", opt, avg)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package splice
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"realsum/internal/tcpip"
+)
+
+// fullMatrixConfigs returns the complete BuildOptions cross-product:
+// every algorithm × placement × inversion × IP-header fill, all with
+// the CRC check enabled.
+func fullMatrixConfigs() []Config {
+	var out []Config
+	for _, alg := range []tcpip.ChecksumAlg{tcpip.AlgTCP, tcpip.AlgFletcher255, tcpip.AlgFletcher256} {
+		for _, pl := range []tcpip.Placement{tcpip.PlacementHeader, tcpip.PlacementTrailer} {
+			for _, noInv := range []bool{false, true} {
+				for _, zeroIP := range []bool{false, true} {
+					out = append(out, Config{
+						Opts: tcpip.BuildOptions{
+							Alg: alg, Placement: pl,
+							NoInvert: noInv, ZeroIPHeader: zeroIP,
+						},
+						CheckCRC: true,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestDifferentialFullMatrix drives ONE reused Enumerator through the
+// full 24-configuration options matrix and all payload kinds, asserting
+// bit-identical Counts against the retained naive reference enumerator
+// (refEnumerate materializes every splice and classifies it with the
+// reference verifiers).  Reusing a single enumerator across differing
+// configs and geometries is the point: stale per-pair state from a
+// previous (algorithm, placement, CRC) combination must never leak.
+func TestDifferentialFullMatrix(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1995, 95))
+	e := NewEnumerator()
+	cfgs := fullMatrixConfigs()
+	// Interleave a CheckCRC=false variant so the contribution tables go
+	// stale between CRC-checked pairs.
+	for ci, cfg := range cfgs {
+		noCRC := cfg
+		noCRC.CheckCRC = false
+		for kind := 0; kind < 5; kind++ {
+			// Alternate geometries, runts included, so buffers shrink and
+			// grow across calls.
+			sizes := [2]int{160, 160}
+			switch kind {
+			case 2:
+				sizes = [2]int{7, 150}
+			case 4:
+				sizes = [2]int{97, 53}
+			}
+			flow := tcpip.NewLoopbackFlow(cfg.Opts)
+			p1 := flow.NextPacket(nil, makePayload(rng, sizes[0], kind))
+			p2 := flow.NextPacket(nil, makePayload(rng, sizes[1], kind))
+			got := e.Pair(p1, p2, cfg)
+			want := refEnumerate(p1, p2, cfg)
+			if got != want {
+				t.Errorf("cfg[%d] %+v kind %d:\n got %+v\nwant %+v", ci, cfg.Opts, kind, got, want)
+			}
+			gotNo := e.Pair(p1, p2, noCRC)
+			wantNo := refEnumerate(p1, p2, noCRC)
+			if gotNo != wantNo {
+				t.Errorf("cfg[%d] %+v (no CRC) kind %d:\n got %+v\nwant %+v", ci, cfg.Opts, kind, gotNo, wantNo)
+			}
+		}
+	}
+}
+
+// TestEnumeratorMatchesEnumeratePair pins the wrapper to the reusable
+// path.
+func TestEnumeratorMatchesEnumeratePair(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	cfg := Config{Opts: tcpip.BuildOptions{}, CheckCRC: true}
+	flow := tcpip.NewLoopbackFlow(cfg.Opts)
+	p1 := flow.NextPacket(nil, makePayload(rng, 256, 3))
+	p2 := flow.NextPacket(nil, makePayload(rng, 256, 3))
+	e := NewEnumerator()
+	if got, want := e.Pair(p1, p2, cfg), EnumeratePair(p1, p2, cfg); got != want {
+		t.Errorf("Enumerator.Pair diverges from EnumeratePair:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestEnumeratorSteadyStateZeroAllocs is the allocation regression
+// gate: once warm, enumerating a pair must not allocate, for the plain
+// TCP path, the Fletcher/trailer path, and the CRC-checked path alike.
+func TestEnumeratorSteadyStateZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 21))
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"tcp-crc", Config{Opts: tcpip.BuildOptions{}, CheckCRC: true}},
+		{"tcp-nocrc", Config{Opts: tcpip.BuildOptions{}}},
+		{"fletcher256-trailer-crc", Config{
+			Opts:     tcpip.BuildOptions{Alg: tcpip.AlgFletcher256, Placement: tcpip.PlacementTrailer},
+			CheckCRC: true,
+		}},
+		{"tcp-zeroip", Config{Opts: tcpip.BuildOptions{ZeroIPHeader: true}, CheckCRC: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			flow := tcpip.NewLoopbackFlow(tc.cfg.Opts)
+			p1 := flow.NextPacket(nil, makePayload(rng, 256, 3))
+			p2 := flow.NextPacket(nil, makePayload(rng, 256, 4))
+			e := NewEnumerator()
+			e.Pair(p1, p2, tc.cfg) // warm the buffers
+			avg := testing.AllocsPerRun(50, func() {
+				e.Pair(p1, p2, tc.cfg)
+			})
+			if avg != 0 {
+				t.Errorf("steady-state Pair allocates %.1f objects/op, want 0", avg)
+			}
+		})
+	}
+}
+
+// BenchmarkEnumeratorPair times the steady-state hot path the tables
+// are built from: one warm enumerator classifying a 7-cell pair (923
+// candidate splices) with the CRC check on.
+func BenchmarkEnumeratorPair(b *testing.B) {
+	flow := tcpip.NewLoopbackFlow(tcpip.BuildOptions{})
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte(i % 7)
+	}
+	p1 := flow.NextPacket(nil, payload)
+	p2 := flow.NextPacket(nil, payload)
+	cfg := Config{Opts: tcpip.BuildOptions{}, CheckCRC: true}
+	e := NewEnumerator()
+	e.Pair(p1, p2, cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Pair(p1, p2, cfg)
+	}
+}

@@ -22,8 +22,10 @@
 // Enumeration is a depth-first walk that carries incremental checksum
 // state per branch: the ones-complement sum composes across cells by
 // plain addition (§4.1), the Fletcher pair composes with the positional
-// shift B += A·off (§5.2), and the CRC-32 register extends cell by
-// cell.  A full splice is therefore classified in O(cells) instead of
+// shift B += A·off (§5.2), and the CRC-32 register is affine over GF(2)
+// in the chosen cells, so each branch extends it with one XOR against a
+// per-pair table of slot contributions (see crc.SlotContribs).  A full
+// splice is therefore classified in O(cells) XOR/add steps instead of
 // O(bytes), which is what makes whole-file-system enumeration cheap.
 package splice
 
@@ -40,6 +42,10 @@ import (
 // counters track (a 65535-byte SDU is 1366 cells; buckets above
 // MaxCells-1 are clamped).
 const MaxCells = 32
+
+// crcCoveredTail is how many bytes of the pinned trailer cell the AAL5
+// CRC-32 covers: the whole payload minus the 4-byte CRC field itself.
+const crcCoveredTail = atm.PayloadSize - 4
 
 // Counts aggregates the classification of every inspected splice, in
 // the row layout of Tables 1–3.
@@ -110,8 +116,58 @@ type Config struct {
 
 var crc32Table = crc.New(crc.CRC32)
 
+// Enumerator owns the reusable per-pair state of the splice walk.  One
+// enumerator processes any number of pairs sequentially; after the
+// first few pairs warm its buffers, enumeration allocates nothing.  An
+// Enumerator is not safe for concurrent use — give each worker its own.
+type Enumerator struct {
+	st             pairState
+	cells1, cells2 []atm.Cell
+}
+
+// NewEnumerator returns an empty enumerator; buffers grow on first use.
+func NewEnumerator() *Enumerator { return &Enumerator{} }
+
+// Pair inspects every candidate splice of two adjacent packets (full
+// IPv4 packets as built by tcpip.Flow) and returns the classification
+// counts.  Packets too short to segment are ignored.
+func (e *Enumerator) Pair(p1, p2 []byte, cfg Config) Counts {
+	return e.pair(p1, p2, cfg, nil, false)
+}
+
+// VisitPair is Pair with a per-splice callback; see the package-level
+// VisitPair for the callback contract.
+func (e *Enumerator) VisitPair(p1, p2 []byte, cfg Config, materialize bool, fn func(Splice)) Counts {
+	return e.pair(p1, p2, cfg, fn, materialize)
+}
+
+func (e *Enumerator) pair(p1, p2 []byte, cfg Config, visit func(Splice), visitSDU bool) Counts {
+	var err1, err2 error
+	e.cells1, err1 = atm.AppendSegment(e.cells1[:0], p1, 0, 32)
+	e.cells2, err2 = atm.AppendSegment(e.cells2[:0], p2, 0, 32)
+	if err1 != nil || err2 != nil {
+		return Counts{}
+	}
+	st := &e.st
+	st.reset(p1, p2, e.cells1, e.cells2, cfg)
+	st.visit = visit
+	st.visitSDU = visitSDU
+	st.enumerate()
+	st.visit = nil
+	return st.counts
+}
+
+// EnumeratePair inspects every candidate splice of two adjacent packets
+// with a throwaway enumerator.  Callers processing streams of pairs
+// should hold an Enumerator instead to amortize the state.
+func EnumeratePair(p1, p2 []byte, cfg Config) Counts {
+	var e Enumerator
+	return e.Pair(p1, p2, cfg)
+}
+
 // pairState holds the per-pair precomputation shared by all branches of
-// one enumeration.
+// one enumeration.  All slice fields are reusable buffers sized by
+// reset; scalar fields are reassigned wholesale per pair.
 type pairState struct {
 	cfg Config
 
@@ -138,18 +194,26 @@ type pairState struct {
 	pairHead []fletcher.Pair
 	pairLast fletcher.Pair
 
-	// Equality maps for identical-data detection: eq1[i][s] ⇔ pool cell
-	// i placed at slot s matches packet 1's SDU there (checksum field
-	// bytes excluded); likewise eq2 against packet 2.
-	eq1, eq2     [][]bool
+	// Equality maps for identical-data detection, flattened with stride
+	// n2: eq1[i*n2+s] ⇔ pool cell i placed at slot s matches packet 1's
+	// SDU there (checksum field bytes excluded); likewise eq2 against
+	// packet 2.
+	eq1, eq2     []bool
 	lastEq1      bool // pinned last cell vs packet 1's final slot
 	sameLen      bool // l1 == l2, a precondition for identical-to-P1
 	fieldOff     int  // checksum field offset within the SDU
-	wantCRC      uint32
-	crcInitReg   uint64
 	slowVerify   bool // incremental state invalid; materialize instead
 	coverFull    bool // ZeroIPHeader: checksum covers the whole SDU
 	p1sdu, p2sdu []byte
+
+	// Affine CRC state: the register of a full splice decomposes as
+	// base ⊕ Σ crcContrib[cell, slot], so each take-step is one XOR and
+	// the leaf check is one comparison against crcWant (the trailer CRC
+	// unfinalized and folded with the base term).  crcContrib is
+	// flattened with stride crcSlots = n2−1.
+	crcSlots   int
+	crcContrib []uint64
+	crcWant    uint64
 
 	sel    []int  // shared DFS selection stack (pool indices)
 	sdubuf []byte // scratch for materialized verification
@@ -160,32 +224,33 @@ type pairState struct {
 	counts Counts
 }
 
-// EnumeratePair inspects every candidate splice of two adjacent packets
-// (full IPv4 packets as built by tcpip.Flow) and returns the
-// classification counts.  Packets too short to segment are ignored.
-func EnumeratePair(p1, p2 []byte, cfg Config) Counts {
-	cells1, err1 := atm.Segment(p1, 0, 32)
-	cells2, err2 := atm.Segment(p2, 0, 32)
-	if err1 != nil || err2 != nil {
-		return Counts{}
+// grow returns a length-n slice, reusing buf's capacity when possible.
+// Contents are unspecified; callers overwrite every element.
+func grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
 	}
-	st := newPairState(p1, p2, cells1, cells2, cfg)
-	st.counts.Pairs = 1
-	st.enumerate()
-	return st.counts
+	return buf[:n]
 }
 
-func newPairState(p1, p2 []byte, cells1, cells2 []atm.Cell, cfg Config) *pairState {
-	st := &pairState{
-		cfg: cfg,
-		l1:  len(p1), l2: len(p2),
-		n2:      len(cells2),
-		m1:      len(cells1) - 1,
-		sameLen: len(p1) == len(p2),
-		p1sdu:   p1, p2sdu: p2,
-	}
+// reset rebuilds the per-pair state in place for a new packet pair.
+func (st *pairState) reset(p1, p2 []byte, cells1, cells2 []atm.Cell, cfg Config) {
+	st.cfg = cfg
+	st.l1, st.l2 = len(p1), len(p2)
+	st.n2 = len(cells2)
+	st.m1 = len(cells1) - 1
+	st.sameLen = len(p1) == len(p2)
+	st.p1sdu, st.p2sdu = p1, p2
+	st.counts = Counts{Pairs: 1}
+	st.sel = st.sel[:0]
+	st.slowVerify = false
+	st.coverFull = false
+	st.pseudo = 0
+	st.fmod = 0
+
 	// Candidate pool: P1's cells except its marked trailer, then P2's
 	// cells except the pinned trailer.
+	st.pool = st.pool[:0]
 	for i := 0; i < len(cells1)-1; i++ {
 		st.pool = append(st.pool, cells1[i].Payload[:])
 	}
@@ -208,9 +273,17 @@ func newPairState(p1, p2 []byte, cells1, cells2 []atm.Cell, cfg Config) *pairSta
 		st.slowVerify = true
 	}
 
-	tr, _ := atm.CheckFraming(cells2)
-	st.wantCRC = tr.CRC
-	st.crcInitReg = crc32Table.RawInit()
+	st.crcSlots = st.n2 - 1
+	if cfg.CheckCRC {
+		tr := atm.DecodeTrailer(st.lastCell)
+		// Fold the init-propagation and pinned-cell terms of the affine
+		// decomposition into the target, so a leaf's CRC test is a bare
+		// comparison of the branch accumulator against crcWant.
+		totalLen := st.crcSlots*atm.PayloadSize + crcCoveredTail
+		base := crc32Table.RawShift(crc32Table.RawInit(), totalLen) ^
+			crc32Table.RawUpdate(0, st.lastCell[:crcCoveredTail])
+		st.crcWant = crc32Table.RawFromCRC(uint64(tr.CRC)) ^ base
+	}
 
 	st.fieldOff = cfg.Opts.ChecksumOffset(st.l2)
 	if cfg.Opts.ZeroIPHeader {
@@ -229,19 +302,21 @@ func newPairState(p1, p2 []byte, cells1, cells2 []atm.Cell, cfg Config) *pairSta
 	}
 
 	st.precomputeCells()
-	return st
 }
 
 // precomputeCells fills the per-pool-cell tables.
 func (st *pairState) precomputeCells() {
 	n := len(st.pool)
-	st.headerOK = make([]bool, n)
-	st.sum48 = make([]uint16, n)
-	st.sumHead = make([]uint16, n)
-	st.pair48 = make([]fletcher.Pair, n)
-	st.pairHead = make([]fletcher.Pair, n)
-	st.eq1 = make([][]bool, n)
-	st.eq2 = make([][]bool, n)
+	st.headerOK = grow(st.headerOK, n)
+	st.sum48 = grow(st.sum48, n)
+	st.sumHead = grow(st.sumHead, n)
+	st.pair48 = grow(st.pair48, n)
+	st.pairHead = grow(st.pairHead, n)
+	st.eq1 = grow(st.eq1, n*st.n2)
+	st.eq2 = grow(st.eq2, n*st.n2)
+	if st.cfg.CheckCRC {
+		st.crcContrib = grow(st.crcContrib, n*st.crcSlots)
+	}
 
 	for i, cell := range st.pool {
 		st.headerOK[i] = st.headerValid(cell)
@@ -251,8 +326,12 @@ func (st *pairState) precomputeCells() {
 			st.pair48[i] = st.fmod.Sum(cell)
 			st.pairHead[i] = st.fmod.Sum(cell[tcpip.IPv4HeaderLen:])
 		}
-		st.eq1[i] = st.eqSlots(st.p1sdu, cell)
-		st.eq2[i] = st.eqSlots(st.p2sdu, cell)
+		st.eqSlots(st.eq1[i*st.n2:(i+1)*st.n2], st.p1sdu, cell)
+		st.eqSlots(st.eq2[i*st.n2:(i+1)*st.n2], st.p2sdu, cell)
+		if st.cfg.CheckCRC && st.crcSlots > 0 {
+			crc32Table.SlotContribs(st.crcContrib[i*st.crcSlots:(i+1)*st.crcSlots],
+				cell, atm.PayloadSize, crcCoveredTail)
+		}
 	}
 	st.lastHeaderOK = st.headerValid(st.lastCell)
 	st.sumLast = inet.Sum(st.lastCell[:st.lastLen])
@@ -283,14 +362,12 @@ func (st *pairState) headerValid(cell []byte) bool {
 	return tcpip.ValidateTCP(cell[tcpip.IPv4HeaderLen:tcpip.HeadersLen]) == nil
 }
 
-// eqSlots computes, for every slot s, whether cell matches orig's SDU
-// bytes at slot s (checksum-field bytes excluded).
-func (st *pairState) eqSlots(orig []byte, cell []byte) []bool {
-	out := make([]bool, st.n2)
-	for s := 0; s < st.n2; s++ {
-		out[s] = st.eqAt(orig, cell, s)
+// eqSlots fills dst (length n2) with, for every slot s, whether cell
+// matches orig's SDU bytes at slot s (checksum-field bytes excluded).
+func (st *pairState) eqSlots(dst []bool, orig []byte, cell []byte) {
+	for s := range dst {
+		dst[s] = st.eqAt(orig, cell, s)
 	}
-	return out
 }
 
 // eqAt compares cell against orig's SDU at slot s, restricted to SDU
@@ -326,7 +403,7 @@ type branch struct {
 	first  int // pool index of the slot-0 cell (-1 until chosen)
 	tcpSum uint16
 	fpair  fletcher.Pair
-	crcReg uint64
+	crcAcc uint64 // XOR of the chosen cells' slot contributions
 	eq1    bool
 	eq2    bool
 }
@@ -334,7 +411,7 @@ type branch struct {
 // enumerate walks every candidate splice.
 func (st *pairState) enumerate() {
 	need := st.n2 - 1
-	b := branch{first: -1, eq1: st.sameLen, eq2: true, crcReg: st.crcInitReg}
+	b := branch{first: -1, eq1: st.sameLen, eq2: true}
 	st.walk(b, need)
 }
 
@@ -377,10 +454,10 @@ func (st *pairState) walk(b branch, need int) {
 		}
 	}
 	if st.cfg.CheckCRC {
-		take.crcReg = crc32Table.RawUpdate(b.crcReg, st.pool[i])
+		take.crcAcc = b.crcAcc ^ st.crcContrib[i*st.crcSlots+s]
 	}
-	take.eq1 = b.eq1 && st.eq1[i][s]
-	take.eq2 = b.eq2 && st.eq2[i][s]
+	take.eq1 = b.eq1 && st.eq1[i*st.n2+s]
+	take.eq2 = b.eq2 && st.eq2[i*st.n2+s]
 	st.sel = append(st.sel, i)
 	st.walk(take, need)
 	st.sel = st.sel[:len(st.sel)-1]
@@ -447,14 +524,11 @@ func (st *pairState) leaf(b branch) {
 		st.counts.MissedByLen[subLen]++
 	}
 	crcOK := false
-	if st.cfg.CheckCRC {
-		reg := crc32Table.RawUpdate(b.crcReg, st.lastCell[:atm.PayloadSize-4])
-		if uint32(crc32Table.RawCRC(reg)) == st.wantCRC {
-			crcOK = true
-			st.counts.MissedByCRC++
-			if ckOK {
-				st.counts.MissedByBoth++
-			}
+	if st.cfg.CheckCRC && b.crcAcc == st.crcWant {
+		crcOK = true
+		st.counts.MissedByCRC++
+		if ckOK {
+			st.counts.MissedByBoth++
 		}
 	}
 	class := ClassDetected

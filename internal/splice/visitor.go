@@ -1,7 +1,5 @@
 package splice
 
-import "realsum/internal/atm"
-
 // Class is the final classification of one candidate splice.
 type Class int
 
@@ -59,15 +57,6 @@ type Splice struct {
 // counts.  When materialize is true, each Splice carries its SDU bytes
 // (slower).  The visitor must not retain Selection or SDU.
 func VisitPair(p1, p2 []byte, cfg Config, materialize bool, fn func(Splice)) Counts {
-	cells1, err1 := atm.Segment(p1, 0, 32)
-	cells2, err2 := atm.Segment(p2, 0, 32)
-	if err1 != nil || err2 != nil {
-		return Counts{}
-	}
-	st := newPairState(p1, p2, cells1, cells2, cfg)
-	st.counts.Pairs = 1
-	st.visit = fn
-	st.visitSDU = materialize
-	st.enumerate()
-	return st.counts
+	var e Enumerator
+	return e.pair(p1, p2, cfg, fn, materialize)
 }

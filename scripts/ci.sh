@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI gate: vet, build, full test suite, and the race detector over the
+# concurrent packages (the sharded simulation driver and the splice
+# enumerator it fans out to).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (sim, splice) =="
+go test -race ./internal/sim/... ./internal/splice/...
+
+echo "CI OK"
