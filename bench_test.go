@@ -132,10 +132,10 @@ func BenchmarkTable8_Fletcher(b *testing.B) {
 		rows := experiments.Table8(benchScale)
 		var tcp, f255, f256, rem uint64
 		for _, r := range rows {
-			tcp += r.TCP.MissedByChecksum
-			f255 += r.F255.MissedByChecksum
-			f256 += r.F256.MissedByChecksum
-			rem += r.TCP.Remaining
+			tcp += r.Get("tcp").MissedByChecksum
+			f255 += r.Get("f255").MissedByChecksum
+			f256 += r.Get("f256").MissedByChecksum
+			rem += r.Get("tcp").Remaining
 		}
 		b.ReportMetric(float64(tcp)/float64(rem), "tcp-miss-rate")
 		b.ReportMetric(float64(f255)/float64(rem), "f255-miss-rate")
@@ -224,9 +224,10 @@ func benchPathological(b *testing.B, which string) {
 			if !containsStr(r.Corpus, which) {
 				continue
 			}
-			b.ReportMetric(r.TCP.MissRate(r.TCP.MissedByChecksum), "tcp-miss-rate")
-			b.ReportMetric(r.F255.MissRate(r.F255.MissedByChecksum), "f255-miss-rate")
-			b.ReportMetric(r.F256.MissRate(r.F256.MissedByChecksum), "f256-miss-rate")
+			tcp, f255, f256 := r.Get("tcp"), r.Get("f255"), r.Get("f256")
+			b.ReportMetric(tcp.MissRate(tcp.MissedByChecksum), "tcp-miss-rate")
+			b.ReportMetric(f255.MissRate(f255.MissedByChecksum), "f255-miss-rate")
+			b.ReportMetric(f256.MissRate(f256.MissedByChecksum), "f256-miss-rate")
 		}
 	}
 }

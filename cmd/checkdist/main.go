@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -95,12 +96,13 @@ func main() {
 		return
 	}
 
-	g, err := sim.CollectGlobal(w, *k)
+	ctx := context.Background()
+	g, err := sim.CollectGlobal(ctx, w, *k, sim.CollectOptions{})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "checkdist: %v\n", err)
 		os.Exit(1)
 	}
-	loc, err := sim.CollectLocal(w, *k, *window)
+	loc, err := sim.CollectLocal(ctx, w, *k, *window, sim.CollectOptions{})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "checkdist: %v\n", err)
 		os.Exit(1)

@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	cksum [-a tcp|f255|f256|adler32|crc32|crc32c|crc10|crc16|crc16-ccitt|crc8|crc64|all] [file ...]
+//	cksum [-a <name>|all] [file ...]
 //
-// With no files, reads standard input.  With -a all (the default),
-// prints every algorithm for each input.
+// The algorithm set comes from the internal/algo registry; run with
+// -a list to see the names.  With no files, reads standard input.
+// With -a all (the default), prints every algorithm for each input.
 package main
 
 import (
@@ -15,80 +16,71 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
-	"realsum/internal/adler"
-	"realsum/internal/crc"
-	"realsum/internal/fletcher"
-	"realsum/internal/inet"
+	"realsum/internal/algo"
 )
 
-// algo is one selectable algorithm.
-type algo struct {
-	name string
-	bits int
-	sum  func(data []byte) uint64
-}
-
-func algorithms() []algo {
-	mk := func(p crc.Params, name string) algo {
-		t := crc.New(p)
-		return algo{name: name, bits: int(p.Width), sum: t.Checksum}
-	}
-	return []algo{
-		{"tcp", 16, func(d []byte) uint64 { return uint64(inet.Checksum(d)) }},
-		{"f255", 16, func(d []byte) uint64 { return uint64(fletcher.Mod255.Sum(d).Checksum16()) }},
-		{"f256", 16, func(d []byte) uint64 { return uint64(fletcher.Mod256.Sum(d).Checksum16()) }},
-		{"adler32", 32, func(d []byte) uint64 { return uint64(adler.Checksum(d)) }},
-		mk(crc.CRC32, "crc32"),
-		mk(crc.CRC32C, "crc32c"),
-		mk(crc.CRC10, "crc10"),
-		mk(crc.CRC16, "crc16"),
-		mk(crc.CRC16CCITT, "crc16-ccitt"),
-		mk(crc.CRC8, "crc8"),
-		mk(crc.CRC64, "crc64"),
-	}
-}
-
 func main() {
-	algName := flag.String("a", "all", "algorithm (or \"all\")")
+	algName := flag.String("a", "all", "algorithm name, \"all\", or \"list\"")
 	flag.Parse()
 
-	var selected []algo
-	for _, a := range algorithms() {
-		if *algName == "all" || a.name == *algName {
-			selected = append(selected, a)
-		}
+	if *algName == "list" {
+		fmt.Println(strings.Join(algo.Names(), "\n"))
+		return
 	}
-	if len(selected) == 0 {
-		fmt.Fprintf(os.Stderr, "cksum: unknown algorithm %q\n", *algName)
+	var selected []algo.Algorithm
+	if *algName == "all" {
+		selected = algo.All()
+	} else if a, ok := algo.Lookup(*algName); ok {
+		selected = []algo.Algorithm{a}
+	} else {
+		fmt.Fprintf(os.Stderr, "cksum: unknown algorithm %q (known: %s)\n",
+			*algName, strings.Join(algo.Names(), ", "))
 		os.Exit(2)
 	}
 
-	emit := func(name string, data []byte) {
-		for _, a := range selected {
-			width := (a.bits + 3) / 4
-			fmt.Printf("%-12s %0*x  %8d  %s\n", a.name, width, a.sum(data), len(data), name)
+	emit := func(name string, r io.Reader) error {
+		// One streaming pass: every selected digest sees the same bytes
+		// without the file ever being held in memory.
+		digests := make([]algo.Digest, len(selected))
+		writers := make([]io.Writer, len(selected))
+		for i, a := range selected {
+			digests[i] = a.New()
+			writers[i] = digests[i]
 		}
+		n, err := io.Copy(io.MultiWriter(writers...), r)
+		if err != nil {
+			return err
+		}
+		for i, a := range selected {
+			width := (a.Width() + 3) / 4
+			fmt.Printf("%-12s %0*x  %8d  %s\n", a.Name(), width, digests[i].Sum64(), n, name)
+		}
+		return nil
 	}
 
 	if flag.NArg() == 0 {
-		data, err := io.ReadAll(os.Stdin)
-		if err != nil {
+		if err := emit("-", os.Stdin); err != nil {
 			fmt.Fprintf(os.Stderr, "cksum: stdin: %v\n", err)
 			os.Exit(1)
 		}
-		emit("-", data)
 		return
 	}
 	exit := 0
 	for _, path := range flag.Args() {
-		data, err := os.ReadFile(path)
+		f, err := os.Open(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cksum: %v\n", err)
 			exit = 1
 			continue
 		}
-		emit(path, data)
+		err = emit(path, f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cksum: %s: %v\n", path, err)
+			exit = 1
+		}
 	}
 	os.Exit(exit)
 }

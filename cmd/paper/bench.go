@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -31,7 +32,7 @@ type benchRecord struct {
 // as the tables require) and writes the records to path.  Corpus
 // construction happens outside the timed region: the records measure
 // the simulation engine, which is what the perf trajectory tracks.
-func runBenchJSON(path string, scale float64, iters int) error {
+func runBenchJSON(ctx context.Context, path string, scale float64, iters int) error {
 	if iters < 1 {
 		return fmt.Errorf("-benchiters must be >= 1 (got %d)", iters)
 	}
@@ -64,7 +65,7 @@ func runBenchJSON(path string, scale float64, iters int) error {
 		for it := 0; it < iters; it++ {
 			bytes, pairs, missed, remaining = 0, 0, 0, 0
 			for i, w := range walkers {
-				res, err := sim.Run(w, names[i], opt)
+				res, err := sim.Run(ctx, w, names[i], opt)
 				if err != nil {
 					return fmt.Errorf("%s: %w", names[i], err)
 				}

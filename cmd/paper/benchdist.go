@@ -1,0 +1,103 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"realsum/internal/experiments"
+	"realsum/internal/sim"
+)
+
+// benchDistRecord is one line of BENCH_dist.json: the cost metrics of
+// one distribution pass (Figures 2–3, Tables 4–5) at one worker count.
+// Speedup is ns/op at one worker divided by ns/op at this record's
+// worker count, so multi-core wins land in the perf trajectory next to
+// the absolute numbers.
+type benchDistRecord struct {
+	Name        string  `json:"name"`
+	Scale       float64 `json:"scale"`
+	Workers     int     `json:"workers"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  uint64  `json:"corpus_bytes_per_op"`
+	Speedup     float64 `json:"speedup_vs_1worker"`
+}
+
+// runBenchDistJSON times the distribution-collection passes and writes
+// the records to path.  Every pass runs at one worker and again at
+// GOMAXPROCS workers (when that differs), exploiting the engine's
+// guarantee that the output is byte-identical at any worker count.
+func runBenchDistJSON(ctx context.Context, path string, scale float64, iters int) error {
+	if iters < 1 {
+		return fmt.Errorf("-benchiters must be >= 1 (got %d)", iters)
+	}
+	passes := []struct {
+		name string
+		run  func(cfg experiments.Config)
+	}{
+		{"Figure2_dist", func(cfg experiments.Config) { experiments.Figure2(cfg) }},
+		{"Figure3_dist", func(cfg experiments.Config) { experiments.Figure3(cfg) }},
+		{"Table4_dist", func(cfg experiments.Config) { experiments.Table4(cfg) }},
+		{"Table5_dist", func(cfg experiments.Config) { experiments.Table5(cfg) }},
+	}
+	workerCounts := []int{1}
+	if maxw := runtime.GOMAXPROCS(0); maxw > 1 {
+		workerCounts = append(workerCounts, maxw)
+	}
+
+	var records []benchDistRecord
+	for _, pass := range passes {
+		var oneWorkerNs float64
+		for _, nw := range workerCounts {
+			prog := &sim.Progress{}
+			cfg := experiments.Config{Scale: scale, Workers: nw, Progress: prog, Ctx: ctx}
+			runtime.GC()
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			start := time.Now()
+			for it := 0; it < iters; it++ {
+				pass.run(cfg)
+			}
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&m1)
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+
+			nsPerOp := float64(elapsed.Nanoseconds()) / float64(iters)
+			bytesPerOp := prog.Bytes() / uint64(iters)
+			rec := benchDistRecord{
+				Name:        pass.name,
+				Scale:       scale,
+				Workers:     nw,
+				Iterations:  iters,
+				NsPerOp:     nsPerOp,
+				MBPerS:      float64(bytesPerOp) / (nsPerOp / 1e9) / 1e6,
+				AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(iters),
+				BytesPerOp:  bytesPerOp,
+			}
+			if nw == 1 {
+				oneWorkerNs = nsPerOp
+			}
+			if oneWorkerNs > 0 {
+				rec.Speedup = oneWorkerNs / nsPerOp
+			}
+			records = append(records, rec)
+			fmt.Fprintf(os.Stderr, "[benchdist %s w=%d: %.0f ms/op, %.1f MB/s, %.0f allocs/op, speedup %.2fx]\n",
+				pass.name, nw, nsPerOp/1e6, rec.MBPerS, rec.AllocsPerOp, rec.Speedup)
+		}
+	}
+
+	out, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	return os.WriteFile(path, out, 0o644)
+}

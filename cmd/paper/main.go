@@ -4,40 +4,63 @@
 //
 // Usage:
 //
-//	paper [-scale 1.0] [-run table1,figure2,...]
+//	paper [-scale 1.0] [-run table1,figure2,...] [-workers N] [-progress]
 //	paper -benchjson BENCH_splice.json [-scale 0.05] [-benchiters 3]
+//	paper -benchdistjson BENCH_dist.json [-scale 0.05] [-benchiters 3]
 //
 // With no -run flag every experiment runs in paper order.  The -scale
 // flag multiplies the corpus sizes (1.0 ≈ a few MB per file system; the
 // paper's originals were GBs — scale up if you have the minutes).
+// -progress prints live throughput to stderr; -workers bounds per-pass
+// parallelism (outputs are byte-identical at any worker count).
+// Interrupt (Ctrl-C) cancels the run between files.
 //
 // -benchjson times the Table 1–3 splice simulations instead of printing
 // tables, writing ns/op, MB/s and allocs/op records that seed the
-// repository's performance trajectory.
+// repository's performance trajectory.  -benchdistjson does the same
+// for the distribution passes (Figures 2–3, Tables 4–5), at one worker
+// and at GOMAXPROCS workers so the records carry the parallel speedup.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"realsum/internal/experiments"
+	"realsum/internal/sim"
 )
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "corpus scale factor")
 	run := flag.String("run", "", "comma-separated experiments (default: all): table1..table10, figure2, figure3, effectivebits, ablations, pathological")
 	list := flag.Bool("list", false, "list experiment names and exit")
+	workers := flag.Int("workers", 0, "parallel workers per pass (default GOMAXPROCS; output is identical at any count)")
+	progress := flag.Bool("progress", false, "print live throughput (files, MB, MB/s) to stderr while experiments run")
 	benchjson := flag.String("benchjson", "", "time the Table 1–3 splice simulations and write ns/op, MB/s and allocs/op records to this file (e.g. BENCH_splice.json), then exit")
-	benchIters := flag.Int("benchiters", 3, "iterations per -benchjson record")
+	benchdistjson := flag.String("benchdistjson", "", "time the Figure 2–3 / Table 4–5 distribution passes and write records (incl. parallel speedup) to this file (e.g. BENCH_dist.json), then exit")
+	benchIters := flag.Int("benchiters", 3, "iterations per -benchjson/-benchdistjson record")
 	flag.Parse()
 
-	if *benchjson != "" {
-		if err := runBenchJSON(*benchjson, *scale, *benchIters); err != nil {
-			fmt.Fprintf(os.Stderr, "paper: benchjson: %v\n", err)
-			os.Exit(1)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *benchjson != "" || *benchdistjson != "" {
+		if *benchjson != "" {
+			if err := runBenchJSON(ctx, *benchjson, *scale, *benchIters); err != nil {
+				fmt.Fprintf(os.Stderr, "paper: benchjson: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *benchdistjson != "" {
+			if err := runBenchDistJSON(ctx, *benchdistjson, *scale, *benchIters); err != nil {
+				fmt.Fprintf(os.Stderr, "paper: benchdistjson: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}
@@ -63,7 +86,12 @@ func main() {
 		}
 	}
 
-	cfg := experiments.Config{Scale: *scale}
+	cfg := experiments.Config{Scale: *scale, Workers: *workers, Ctx: ctx}
+	if *progress {
+		prog := &sim.Progress{}
+		cfg.Progress = prog
+		defer startProgress(prog)()
+	}
 	step := func(name string, fn func() string) {
 		if !want[name] {
 			return
@@ -115,4 +143,27 @@ func main() {
 	step("census", func() string { return experiments.DataCensusReport(experiments.DataCensus(cfg)) })
 	step("locality", func() string { return experiments.LocalityReport(experiments.Locality(cfg)) })
 	step("fragswap", func() string { return experiments.FragSwapReport(experiments.FragSwap(cfg)) })
+}
+
+// startProgress prints cumulative throughput to stderr every 2 seconds
+// until the returned stop function runs.
+func startProgress(p *sim.Progress) (stopFn func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(2 * time.Second)
+		defer t.Stop()
+		start := time.Now()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				files, bytes := p.Files(), p.Bytes()
+				el := time.Since(start).Seconds()
+				fmt.Fprintf(os.Stderr, "[progress: %d files, %.1f MB, %.1f MB/s]\n",
+					files, float64(bytes)/1e6, float64(bytes)/1e6/el)
+			}
+		}
+	}()
+	return func() { close(done) }
 }

@@ -12,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"realsum/internal/corpus"
 	"realsum/internal/report"
@@ -52,16 +54,11 @@ func main() {
 		Workers:     *workers,
 		TrackWorst:  *worst,
 	}
-	switch *alg {
-	case "tcp":
-		opt.Build.Alg = tcpip.AlgTCP
-	case "f255":
-		opt.Build.Alg = tcpip.AlgFletcher255
-	case "f256":
-		opt.Build.Alg = tcpip.AlgFletcher256
-	default:
+	builderAlg, ok := tcpip.AlgByName(*alg)
+	if !ok {
 		fatal("unknown -alg %q", *alg)
 	}
+	opt.Build.Alg = builderAlg
 	switch *placement {
 	case "header":
 	case "trailer":
@@ -87,7 +84,9 @@ func main() {
 		fatal("one of -profile or -dir is required")
 	}
 
-	res, err := sim.Run(w, name, opt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := sim.Run(ctx, w, name, opt)
 	if err != nil {
 		fatal("simulation failed: %v", err)
 	}

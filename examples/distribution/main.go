@@ -6,8 +6,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
+	"realsum/internal/algo"
 	"realsum/internal/corpus"
 	"realsum/internal/dist"
 	"realsum/internal/report"
@@ -15,11 +17,12 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	fs := corpus.StanfordU1().Build()
 	fmt.Printf("corpus: %s (%d files, %s bytes)\n\n", fs.Name, len(fs.Specs), report.Count(uint64(fs.TotalBytes())))
 
 	// Single-cell histogram (Figure 2a/b).
-	h1, err := sim.CollectCellHistogram(fs, sim.CellTCP)
+	h1, err := sim.CollectCellHistogram(ctx, fs, algo.MustLookup("tcp"), sim.CollectOptions{})
 	if err != nil {
 		panic(err)
 	}
@@ -42,7 +45,7 @@ func main() {
 	p1 := dist.FromHistogram(h1)
 	pk := p1
 	for k := 1; k <= 4; k++ {
-		g, err := sim.CollectGlobal(fs, k)
+		g, err := sim.CollectGlobal(ctx, fs, k, sim.CollectOptions{})
 		if err != nil {
 			panic(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"realsum/internal/corpus"
@@ -21,7 +22,7 @@ func main() {
 	profile := corpus.PathologicalGmon()
 
 	run := func(placement tcpip.Placement) sim.Result {
-		res, err := sim.Run(profile.Build(), profile.Name,
+		res, err := sim.Run(context.Background(), profile.Build(), profile.Name,
 			sim.Options{Build: tcpip.BuildOptions{Placement: placement}})
 		if err != nil {
 			panic(err)

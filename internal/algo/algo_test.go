@@ -1,0 +1,130 @@
+package algo
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"realsum/internal/adler"
+	"realsum/internal/crc"
+	"realsum/internal/fletcher"
+	"realsum/internal/inet"
+)
+
+func randData(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.Uint32())
+	}
+	return b
+}
+
+func TestRegistryBuiltins(t *testing.T) {
+	for _, name := range []string{
+		"tcp", "f255", "f256", "fletcher32", "adler32",
+		"crc32", "crc32c", "crc10", "crc16", "crc16-ccitt", "crc8", "crc64",
+	} {
+		a, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("builtin %q not registered", name)
+		}
+		if a.Name() != name {
+			t.Errorf("%q: Name() = %q", name, a.Name())
+		}
+		if a.Width() < 8 || a.Width() > 64 {
+			t.Errorf("%q: width %d", name, a.Width())
+		}
+		if p := a.UniformP(); p <= 0 || p > 1.0/255 {
+			t.Errorf("%q: UniformP = %g", name, p)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup of unknown name succeeded")
+	}
+	if len(All()) != len(Names()) || len(All()) < 12 {
+		t.Errorf("All/Names inconsistent: %d vs %d", len(All()), len(Names()))
+	}
+}
+
+// TestSumMatchesDirect pins every adapter to the implementation it
+// wraps, so the registry can never drift from the packages the paper's
+// experiments use directly.
+func TestSumMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	crc32t := crc.New(crc.CRC32)
+	for _, n := range []int{0, 1, 2, 47, 48, 255, 1000} {
+		data := randData(rng, n)
+		checks := []struct {
+			name string
+			want uint64
+		}{
+			{"tcp", uint64(inet.Checksum(data))},
+			{"f255", uint64(fletcher.Mod255.Sum(data).Checksum16())},
+			{"f256", uint64(fletcher.Mod256.Sum(data).Checksum16())},
+			{"fletcher32", uint64(fletcher.Sum32(data).Checksum32())},
+			{"adler32", uint64(adler.Checksum(data))},
+			{"crc32", crc32t.Checksum(data)},
+		}
+		for _, c := range checks {
+			if got := MustLookup(c.name).Sum(data); got != c.want {
+				t.Errorf("n=%d %s: Sum = %#x, want %#x", n, c.name, got, c.want)
+			}
+		}
+	}
+}
+
+// TestDigestMatchesSum streams each algorithm over arbitrary write
+// boundaries (including odd splits, the Fletcher-32 pending-byte case)
+// and checks the digest agrees with the one-shot Sum.
+func TestDigestMatchesSum(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	data := randData(rng, 1537)
+	for _, a := range All() {
+		d := a.New()
+		for off := 0; off < len(data); {
+			n := 1 + rng.IntN(97)
+			if off+n > len(data) {
+				n = len(data) - off
+			}
+			d.Write(data[off : off+n])
+			off += n
+		}
+		if got, want := d.Sum64(), a.Sum(data); got != want {
+			t.Errorf("%s: streamed %#x != one-shot %#x", a.Name(), got, want)
+		}
+		d.Reset()
+		d.Write(data[:10])
+		if got, want := d.Sum64(), a.Sum(data[:10]); got != want {
+			t.Errorf("%s: after Reset %#x != %#x", a.Name(), got, want)
+		}
+	}
+}
+
+// TestCombinerMatchesDirect checks the O(1) recombination law for every
+// algorithm that claims it: Sum(A‖B) from Sum(A), Sum(B) and lengths,
+// over random data and split points including odd-length A (the TCP
+// byte-swap case).
+func TestCombinerMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	var combiners []Combiner
+	for _, a := range All() {
+		if c, ok := a.(Combiner); ok {
+			combiners = append(combiners, c)
+		}
+	}
+	if len(combiners) < 5 {
+		t.Fatalf("only %d combiners registered", len(combiners))
+	}
+	for trial := 0; trial < 50; trial++ {
+		data := randData(rng, 1+rng.IntN(900))
+		cut := rng.IntN(len(data) + 1)
+		a, b := data[:cut], data[cut:]
+		for _, c := range combiners {
+			got := c.Combine(c.Sum(a), c.Sum(b), len(a), len(b))
+			want := c.Sum(data)
+			if got != want {
+				t.Errorf("%s: Combine(|A|=%d, |B|=%d) = %#x, want %#x",
+					c.Name(), len(a), len(b), got, want)
+			}
+		}
+	}
+}

@@ -2,7 +2,6 @@ package dist
 
 import (
 	"bytes"
-	"hash/fnv"
 
 	"realsum/internal/inet"
 	"realsum/internal/onescomp"
@@ -12,56 +11,71 @@ import (
 // payload.
 const CellSize = 48
 
-// CellSums returns the ones-complement partial sum of every complete
-// 48-byte cell of data.  A trailing runt is ignored; the paper's
-// distribution sampling "only deals in full-size cells" (§4.6).
-func CellSums(data []byte) []uint16 {
-	n := len(data) / CellSize
-	out := make([]uint16, n)
-	for i := 0; i < n; i++ {
-		out[i] = inet.Sum(data[i*CellSize : (i+1)*CellSize])
+// fnv64a is FNV-1a over p with the standard 64-bit parameters — the
+// same function hash/fnv computes, inlined so the per-block content
+// census allocates nothing.
+func fnv64a(p []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range p {
+		h ^= uint64(b)
+		h *= prime64
 	}
-	return out
-}
-
-// BlockSum composes k consecutive cell sums starting at cell i into the
-// block's ones-complement sum.  Cells are 48 bytes, so every cell is
-// word-aligned and partial sums add without byte swaps (§4.1).
-func BlockSum(cellSums []uint16, i, k int) uint16 {
-	var s uint16
-	for j := i; j < i+k; j++ {
-		s = onescomp.Add(s, cellSums[j])
-	}
-	return s
+	return h
 }
 
 // GlobalSampler accumulates the file-system-wide distribution of k-cell
 // block checksums, plus a content-hash census so identical blocks can
 // be excluded — the "Globally Congruent" and "Exclude Identical"
-// machinery of Tables 4–6.
+// machinery of Tables 4–6.  Samplers are single-goroutine shards; merge
+// them with Merge after a parallel pass.
 type GlobalSampler struct {
 	K      int
 	hist   *Histogram
 	hashes map[uint64]uint64
 	blocks uint64
+	win    *Windower
 }
 
 // NewGlobalSampler returns a sampler for k-cell blocks.
 func NewGlobalSampler(k int) *GlobalSampler {
-	return &GlobalSampler{K: k, hist: NewHistogram(), hashes: make(map[uint64]uint64)}
+	return &GlobalSampler{
+		K:      k,
+		hist:   NewHistogram(),
+		hashes: make(map[uint64]uint64),
+		win:    NewWindower(k, k, 0),
+	}
 }
 
 // AddFile records every aligned k-cell block of one file.
 func (g *GlobalSampler) AddFile(data []byte) {
-	sums := CellSums(data)
+	w := g.win
+	w.Reset()
 	k := g.K
-	for i := 0; i+k <= len(sums); i += k {
-		g.hist.Add(BlockSum(sums, i, k))
-		h := fnv.New64a()
-		h.Write(data[i*CellSize : (i+k)*CellSize])
-		g.hashes[h.Sum64()]++
-		g.blocks++
+	n := len(data) / CellSize
+	for c := 0; c < n; c++ {
+		w.PushCell(inet.Sum(data[c*CellSize : (c+1)*CellSize]))
+		start := c - k + 1
+		if start >= 0 && start%k == 0 {
+			g.hist.Add(w.Last())
+			g.hashes[fnv64a(data[start*CellSize:(start+k)*CellSize])]++
+			g.blocks++
+		}
 	}
+}
+
+// Merge folds another sampler's counts into g.  Counts are integers, so
+// merging is exact and order-independent: any shard partition of the
+// same corpus merges to identical state.
+func (g *GlobalSampler) Merge(o *GlobalSampler) {
+	g.hist.Merge(o.hist)
+	for h, c := range o.hashes {
+		g.hashes[h] += c
+	}
+	g.blocks += o.blocks
 }
 
 // Histogram exposes the accumulated checksum histogram.
@@ -126,30 +140,75 @@ func (s LocalStats) ExcludeIdenticalP() float64 {
 	return float64(s.Congruent-s.Identical) / float64(s.Pairs)
 }
 
-// SampleLocal compares every pair of k-cell blocks of data whose start
-// offsets differ by at most window bytes (window = 512 reproduces the
-// paper's "within 2 packet lengths").  Blocks start on cell boundaries;
-// overlapping pairs are skipped so a block is never compared with
-// itself or a shifted self-image.
-func SampleLocal(data []byte, k, window int) LocalStats {
-	sums := CellSums(data)
-	var st LocalStats
+// LocalSampler compares every pair of k-cell blocks whose start offsets
+// differ by at most Window bytes (512 reproduces the paper's "within 2
+// packet lengths").  Blocks start on cell boundaries; overlapping pairs
+// are skipped so a block is never compared with a shifted self-image.
+//
+// The sampler streams each file through a Windower: when the window
+// starting at cell j completes, it is compared against the retained
+// window sums at starts j-maxCellDist .. j-k — O(1) per pair where the
+// old BlockSum recomputation was O(k).  The steady-state File path
+// allocates nothing.
+type LocalSampler struct {
+	K      int
+	Window int
+	stats  LocalStats
+	win    *Windower
+}
+
+// NewLocalSampler returns a sampler for k-cell blocks within window
+// bytes.
+func NewLocalSampler(k, window int) *LocalSampler {
 	maxCellDist := window / CellSize
-	for i := 0; i+k <= len(sums); i++ {
-		a := BlockSum(sums, i, k)
-		for j := i + k; j+k <= len(sums) && j-i <= maxCellDist; j++ {
-			st.Pairs++
-			b := BlockSum(sums, j, k)
-			if !onescomp.Congruent(a, b) {
+	return &LocalSampler{
+		K:      k,
+		Window: window,
+		win:    NewWindower(k, k, maxCellDist+1),
+	}
+}
+
+// File accumulates all in-window pairs of one file.
+func (s *LocalSampler) File(data []byte) {
+	w := s.win
+	w.Reset()
+	k := s.K
+	maxCellDist := s.Window / CellSize
+	n := len(data) / CellSize
+	for c := 0; c < n; c++ {
+		w.PushCell(inet.Sum(data[c*CellSize : (c+1)*CellSize]))
+		j := c - k + 1 // start of the window that just completed
+		if j < k {
+			continue // no earlier non-overlapping window yet
+		}
+		b := w.Last()
+		lo := j - maxCellDist
+		if lo < 0 {
+			lo = 0
+		}
+		for i := lo; i <= j-k; i++ {
+			s.stats.Pairs++
+			if !onescomp.Congruent(w.WindowSum(i), b) {
 				continue
 			}
-			st.Congruent++
-			ab := data[i*CellSize : (i+k)*CellSize]
-			bb := data[j*CellSize : (j+k)*CellSize]
-			if bytes.Equal(ab, bb) {
-				st.Identical++
+			s.stats.Congruent++
+			if bytes.Equal(data[i*CellSize:(i+k)*CellSize], data[j*CellSize:(j+k)*CellSize]) {
+				s.stats.Identical++
 			}
 		}
 	}
-	return st
+}
+
+// Stats returns the accumulated counts.
+func (s *LocalSampler) Stats() LocalStats { return s.stats }
+
+// MergeStats folds another sampler shard's counts into s.
+func (s *LocalSampler) MergeStats(o *LocalSampler) { s.stats.Add(o.stats) }
+
+// SampleLocal runs a LocalSampler over one file — the one-shot form the
+// appendix tests and small tools use.
+func SampleLocal(data []byte, k, window int) LocalStats {
+	s := NewLocalSampler(k, window)
+	s.File(data)
+	return s.Stats()
 }

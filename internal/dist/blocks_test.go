@@ -17,32 +17,83 @@ func randData(rng *rand.Rand, n int) []byte {
 	return b
 }
 
-func TestCellSums(t *testing.T) {
+func TestWindowerCellStreaming(t *testing.T) {
 	rng := rand.New(rand.NewPCG(1, 1))
 	data := randData(rng, 48*5+17) // runt tail ignored
-	sums := CellSums(data)
-	if len(sums) != 5 {
-		t.Fatalf("%d cells, want 5", len(sums))
+	w := NewWindower(1, 5, 0)
+	// Stream through Write in awkward chunk sizes to exercise the
+	// partial-cell carry.
+	for off := 0; off < len(data); {
+		n := 1 + rng.IntN(31)
+		if off+n > len(data) {
+			n = len(data) - off
+		}
+		w.Write(data[off : off+n])
+		off += n
 	}
-	for i, s := range sums {
-		if want := inet.Sum(data[i*48 : (i+1)*48]); s != want {
-			t.Errorf("cell %d: %#04x != %#04x", i, s, want)
+	if w.Cells() != 5 {
+		t.Fatalf("%d cells, want 5", w.Cells())
+	}
+	for i := 0; i < 5; i++ {
+		if got, want := w.CellSum(i), inet.Sum(data[i*48:(i+1)*48]); got != want {
+			t.Errorf("cell %d: %#04x != %#04x", i, got, want)
 		}
 	}
 }
 
-func TestBlockSumMatchesDirect(t *testing.T) {
+func TestWindowerMatchesDirect(t *testing.T) {
 	rng := rand.New(rand.NewPCG(2, 2))
 	data := randData(rng, 48*10)
-	sums := CellSums(data)
+	n := len(data) / 48
 	for k := 1; k <= 5; k++ {
-		for i := 0; i+k <= len(sums); i++ {
-			got := BlockSum(sums, i, k)
+		w := NewWindower(k, k, n)
+		w.Write(data)
+		if got, want := w.Windows(), n-k+1; got != want {
+			t.Fatalf("k=%d: %d windows, want %d", k, got, want)
+		}
+		for i := 0; i+k <= n; i++ {
+			got := w.WindowSum(i)
 			want := inet.Sum(data[i*48 : (i+k)*48])
 			if !onescomp.Congruent(got, want) {
 				t.Fatalf("k=%d i=%d: %#04x != %#04x", k, i, got, want)
 			}
 		}
+	}
+}
+
+func TestWindowerReset(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	a, b := randData(rng, 48*6), randData(rng, 48*4)
+	w := NewWindower(2, 2, 8)
+	w.Write(a)
+	w.Reset()
+	w.Write(b)
+	if w.Cells() != 4 || w.Windows() != 3 {
+		t.Fatalf("after reset: %d cells, %d windows", w.Cells(), w.Windows())
+	}
+	for i := 0; i < 3; i++ {
+		want := inet.Sum(b[i*48 : (i+2)*48])
+		if !onescomp.Congruent(w.WindowSum(i), want) {
+			t.Errorf("window %d: %#04x !≡ %#04x", i, w.WindowSum(i), want)
+		}
+	}
+}
+
+// TestLocalSamplerSteadyStateAllocs guards the hot path of the
+// distribution engine: streaming a file through a reused LocalSampler
+// must not allocate.
+func TestLocalSamplerSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	data := randData(rng, 48*64)
+	s := NewLocalSampler(2, 512)
+	s.File(data) // warm-up
+	if n := testing.AllocsPerRun(20, func() { s.File(data) }); n != 0 {
+		t.Errorf("LocalSampler.File allocates %v per run, want 0", n)
+	}
+	g := NewGlobalSampler(2)
+	g.AddFile(data) // warm-up: histogram buckets and hash census entries
+	if n := testing.AllocsPerRun(20, func() { g.AddFile(data) }); n != 0 {
+		t.Errorf("GlobalSampler.AddFile allocates %v per run, want 0", n)
 	}
 }
 
@@ -99,6 +150,44 @@ func TestGlobalSamplerUniformBaseline(t *testing.T) {
 	}
 	if g.IdenticalProbability() > 1e-6 {
 		t.Errorf("random 48-byte blocks should almost never be identical")
+	}
+}
+
+// TestGlobalSamplerMerge checks that sharding files across samplers and
+// merging reproduces the single-sampler state exactly.
+func TestGlobalSamplerMerge(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	files := make([][]byte, 7)
+	for i := range files {
+		files[i] = randData(rng, 48*(3+rng.IntN(40)))
+	}
+	for _, k := range []int{1, 2, 4} {
+		whole := NewGlobalSampler(k)
+		for _, f := range files {
+			whole.AddFile(f)
+		}
+		shards := []*GlobalSampler{NewGlobalSampler(k), NewGlobalSampler(k), NewGlobalSampler(k)}
+		for i, f := range files {
+			shards[i%3].AddFile(f)
+		}
+		merged := NewGlobalSampler(k)
+		for _, s := range shards {
+			merged.Merge(s)
+		}
+		if merged.Blocks() != whole.Blocks() {
+			t.Fatalf("k=%d: merged %d blocks, whole %d", k, merged.Blocks(), whole.Blocks())
+		}
+		if got, want := merged.CongruentProbability(), whole.CongruentProbability(); got != want {
+			t.Errorf("k=%d: congruent %v != %v", k, got, want)
+		}
+		if got, want := merged.IdenticalProbability(), whole.IdenticalProbability(); got != want {
+			t.Errorf("k=%d: identical %v != %v", k, got, want)
+		}
+		for v := 0; v < 65536; v++ {
+			if merged.Histogram().Count(uint16(v)) != whole.Histogram().Count(uint16(v)) {
+				t.Fatalf("k=%d: histogram differs at %#04x", k, v)
+			}
+		}
 	}
 }
 

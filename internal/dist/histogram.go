@@ -36,6 +36,18 @@ func (h *Histogram) AddN(v uint16, n uint64) {
 // Total returns the number of observations.
 func (h *Histogram) Total() uint64 { return h.total }
 
+// Merge adds every count of o into h.  Counts are integers, so merging
+// any shard partition of the same observations yields identical state
+// regardless of partition or order.
+func (h *Histogram) Merge(o *Histogram) {
+	for v, c := range o.counts {
+		if c > 0 {
+			h.counts[v] += c
+		}
+	}
+	h.total += o.total
+}
+
 // Count returns the number of observations of v (and its congruent
 // representation).
 func (h *Histogram) Count(v uint16) uint64 {

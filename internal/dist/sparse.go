@@ -23,6 +23,14 @@ func (s *Sparse) Add(v uint64) {
 // Total returns the number of observations.
 func (s *Sparse) Total() uint64 { return s.total }
 
+// Merge adds every count of o into s, for combining per-worker shards.
+func (s *Sparse) Merge(o *Sparse) {
+	for v, c := range o.counts {
+		s.counts[v] += c
+	}
+	s.total += o.total
+}
+
 // Distinct returns the number of distinct values observed.
 func (s *Sparse) Distinct() int { return len(s.counts) }
 

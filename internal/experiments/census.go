@@ -73,8 +73,8 @@ type LocalityOfFailure struct {
 // Locality runs the attribution over the Stanford /u1 profile.
 func Locality(cfg Config) LocalityOfFailure {
 	p := corpus.StanfordU1()
-	res, err := sim.Run(p.Scale(cfg.scale()).Build(), p.Name,
-		sim.Options{TrackWorst: 10})
+	res, err := sim.Run(cfg.ctx(), p.Scale(cfg.scale()).Build(), p.Name,
+		cfg.simOptions(sim.Options{TrackWorst: 10}))
 	if err != nil {
 		panic(err)
 	}

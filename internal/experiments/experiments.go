@@ -7,21 +7,31 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
+	"realsum/internal/algo"
 	"realsum/internal/corpus"
 	"realsum/internal/dist"
 	"realsum/internal/report"
 	"realsum/internal/sim"
 )
 
-// Config scales the experiments.
+// Config scales and plumbs the experiments.
 type Config struct {
 	// Scale multiplies every profile's file count (1.0 = the default
 	// corpus sizes; benchmarks use less).
 	Scale float64
+	// Workers bounds per-pass parallelism (default GOMAXPROCS).  Every
+	// pass is deterministic in its output at any worker count.
+	Workers int
+	// Progress, when non-nil, receives per-file throughput updates from
+	// every pass — the source of cmd/paper -progress.
+	Progress *sim.Progress
+	// Ctx cancels long passes between files (nil means Background).
+	Ctx context.Context
 }
 
 func (c Config) scale() float64 {
@@ -31,12 +41,31 @@ func (c Config) scale() float64 {
 	return c.Scale
 }
 
+func (c Config) ctx() context.Context {
+	if c.Ctx == nil {
+		return context.Background()
+	}
+	return c.Ctx
+}
+
+// collectOptions carries the Config's plumbing into a collection pass.
+func (c Config) collectOptions() sim.CollectOptions {
+	return sim.CollectOptions{Workers: c.Workers, Progress: c.Progress}
+}
+
+// simOptions applies the Config's plumbing to splice-run options.
+func (c Config) simOptions(opt sim.Options) sim.Options {
+	opt.Workers = c.Workers
+	opt.Progress = c.Progress
+	return opt
+}
+
 // runSystems simulates a list of profiles under opt.
-func runSystems(profiles []corpus.Profile, opt sim.Options, scale float64) []sim.Result {
+func runSystems(cfg Config, profiles []corpus.Profile, opt sim.Options) []sim.Result {
 	var out []sim.Result
 	for _, p := range profiles {
-		fs := p.Scale(scale).Build()
-		res, err := sim.Run(fs, p.Name, opt)
+		fs := p.Scale(cfg.scale()).Build()
+		res, err := sim.Run(cfg.ctx(), fs, p.Name, cfg.simOptions(opt))
 		if err != nil {
 			panic(fmt.Sprintf("experiments: %s: %v", p.Name, err))
 		}
@@ -48,7 +77,7 @@ func runSystems(profiles []corpus.Profile, opt sim.Options, scale float64) []sim
 // Tables123 reproduces Tables 1–3: CRC and TCP checksum results over
 // the NSC, SICS and Stanford systems with 256-byte packets.
 func Tables123(cfg Config) []sim.Result {
-	return runSystems(corpus.AllProfiles(), sim.Options{CheckCRC: true}, cfg.scale())
+	return runSystems(cfg, corpus.AllProfiles(), sim.Options{CheckCRC: true})
 }
 
 // Table1Report renders the NSC slice of Tables123.
@@ -102,7 +131,7 @@ func Figure2(cfg Config) Figure2Data {
 	out := Figure2Data{PDF: map[int][]float64{}, CDF65: map[int][]float64{}}
 	var single *dist.Histogram
 	for _, k := range []int{1, 2, 4} {
-		h, err := sim.CollectBlockHistogram(fs, k)
+		h, err := sim.CollectBlockHistogram(cfg.ctx(), fs, k, cfg.collectOptions())
 		if err != nil {
 			panic(err)
 		}
@@ -148,17 +177,22 @@ func Figure2Report(d Figure2Data) string {
 	return b.String()
 }
 
+// figure3Algos maps the figure's series labels onto registry names.
+// Dispatch is data: the pass below iterates this table and pulls each
+// algorithm from the algo registry.
+var figure3Algos = []struct{ Label, Algo string }{
+	{"IP/TCP", "tcp"},
+	{"F255", "f255"},
+	{"F256", "f256"},
+}
+
 // Figure3 reproduces the PDF comparison of TCP vs Fletcher-255 vs
 // Fletcher-256 over 48-byte cells (most common 256 values).
 func Figure3(cfg Config) map[string][]float64 {
 	fs := corpus.StanfordU1().Scale(cfg.scale()).Build()
 	out := map[string][]float64{}
-	for name, alg := range map[string]sim.CellAlg{
-		"IP/TCP": sim.CellTCP,
-		"F255":   sim.CellFletcher255,
-		"F256":   sim.CellFletcher256,
-	} {
-		h, err := sim.CollectCellHistogram(fs, alg)
+	for _, s := range figure3Algos {
+		h, err := sim.CollectCellHistogram(cfg.ctx(), fs, algo.MustLookup(s.Algo), cfg.collectOptions())
 		if err != nil {
 			panic(err)
 		}
@@ -166,7 +200,7 @@ func Figure3(cfg Config) map[string][]float64 {
 		if len(pdf) > 256 {
 			pdf = pdf[:256]
 		}
-		out[name] = pdf
+		out[s.Label] = pdf
 	}
 	return out
 }
@@ -193,7 +227,7 @@ type Table4Row struct {
 // Table4 computes the match probabilities for k = 1..5.
 func Table4(cfg Config) []Table4Row {
 	fs := corpus.StanfordU1().Scale(cfg.scale()).Build()
-	single, err := sim.CollectGlobal(fs, 1)
+	single, err := sim.CollectGlobal(cfg.ctx(), fs, 1, cfg.collectOptions())
 	if err != nil {
 		panic(err)
 	}
@@ -201,7 +235,7 @@ func Table4(cfg Config) []Table4Row {
 	var rows []Table4Row
 	pk := p1
 	for k := 1; k <= 5; k++ {
-		g, err := sim.CollectGlobal(fs, k)
+		g, err := sim.CollectGlobal(cfg.ctx(), fs, k, cfg.collectOptions())
 		if err != nil {
 			panic(err)
 		}
@@ -251,15 +285,15 @@ func Table5(cfg Config) []Table5Row {
 	fs := corpus.StanfordU1().Scale(cfg.scale()).Build()
 	var rows []Table5Row
 	for k := 1; k <= 4; k++ {
-		g, err := sim.CollectGlobal(fs, k)
+		g, err := sim.CollectGlobal(cfg.ctx(), fs, k, cfg.collectOptions())
 		if err != nil {
 			panic(err)
 		}
-		loc, err := sim.CollectLocal(fs, k, 512)
+		loc, err := sim.CollectLocal(cfg.ctx(), fs, k, 512, cfg.collectOptions())
 		if err != nil {
 			panic(err)
 		}
-		nc, err := sim.CollectLocalAnyCells(fs, k, 512, 8)
+		nc, err := sim.CollectLocalAnyCells(cfg.ctx(), fs, k, 512, 8, cfg.collectOptions())
 		if err != nil {
 			panic(err)
 		}

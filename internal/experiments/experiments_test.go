@@ -159,6 +159,31 @@ func TestTable5Shape(t *testing.T) {
 	}
 }
 
+// TestDistributionReportsDeterministicAcrossWorkers is the tentpole
+// guarantee: the rendered figure/table text — not just the numbers — is
+// byte-identical at any worker count.
+func TestDistributionReportsDeterministicAcrossWorkers(t *testing.T) {
+	passes := []struct {
+		name string
+		run  func(cfg Config) string
+	}{
+		{"figure2", func(cfg Config) string { return Figure2Report(Figure2(cfg)) }},
+		{"figure3", func(cfg Config) string { return Figure3Report(Figure3(cfg)) }},
+		{"table4", func(cfg Config) string { return Table4Report(Table4(cfg)) }},
+		{"table5", func(cfg Config) string { return Table5Report(Table5(cfg)) }},
+		{"table6", func(cfg Config) string { return Table6Report(Table6(cfg)) }},
+	}
+	for _, p := range passes {
+		base := p.run(Config{Scale: 0.05, Workers: 1})
+		for _, w := range []int{2, 8} {
+			if got := p.run(Config{Scale: 0.05, Workers: w}); got != base {
+				t.Errorf("%s: output differs between 1 and %d workers:\n--- workers=1\n%s\n--- workers=%d\n%s",
+					p.name, w, base, w, got)
+			}
+		}
+	}
+}
+
 func TestTable6Shape(t *testing.T) {
 	systems := Table6(tiny)
 	if len(systems) != 4 {
@@ -203,10 +228,11 @@ func TestTable8FletcherWins(t *testing.T) {
 	var tcpTotal, f256Total uint64
 	var remTCP, remF256 uint64
 	for _, r := range rows {
-		tcpTotal += r.TCP.MissedByChecksum
-		f256Total += r.F256.MissedByChecksum
-		remTCP += r.TCP.Remaining
-		remF256 += r.F256.Remaining
+		tcp, f256 := r.Get("tcp"), r.Get("f256")
+		tcpTotal += tcp.MissedByChecksum
+		f256Total += f256.MissedByChecksum
+		remTCP += tcp.Remaining
+		remF256 += f256.Remaining
 	}
 	if remTCP == 0 || remF256 == 0 {
 		t.Fatal("no remaining splices")
@@ -309,8 +335,9 @@ func TestPathologicalCases(t *testing.T) {
 	}
 	// §5.5's dramatic case: on 0x00/0xFF bitmaps, Fletcher-255 performs
 	// WORSE than the TCP checksum.
-	f255 := pbm.F255.MissRate(pbm.F255.MissedByChecksum)
-	tcp := pbm.TCP.MissRate(pbm.TCP.MissedByChecksum)
+	f255res, tcpres := pbm.Get("f255"), pbm.Get("tcp")
+	f255 := f255res.MissRate(f255res.MissedByChecksum)
+	tcp := tcpres.MissRate(tcpres.MissedByChecksum)
 	if f255 <= tcp {
 		t.Errorf("PBM corpus: Fletcher-255 rate %.4g not above TCP %.4g", f255, tcp)
 	}

@@ -3,12 +3,9 @@ package experiments
 import (
 	"fmt"
 
-	"realsum/internal/adler"
+	"realsum/internal/algo"
 	"realsum/internal/corpus"
-	"realsum/internal/crc"
 	"realsum/internal/dist"
-	"realsum/internal/fletcher"
-	"realsum/internal/inet"
 	"realsum/internal/ipfrag"
 	"realsum/internal/lossim"
 	"realsum/internal/report"
@@ -98,56 +95,69 @@ type AdlerRow struct {
 	Uniform   float64
 }
 
+// adlerAlgos maps the comparison's display labels onto registry names,
+// in table order.
+var adlerAlgos = []struct{ Label, Algo string }{
+	{"IP/TCP", "tcp"},
+	{"Fletcher-255", "f255"},
+	{"Fletcher-256", "f256"},
+	{"Adler-32", "adler32"},
+	{"CRC-32", "crc32"},
+}
+
 // AdlerComparison extends Figure 3's distribution study with the
 // 32-bit generation: Adler-32 and CRC-32 over the same 48-byte cells
 // as the 16-bit sums.  The 16-bit checks collide ~10× above their
 // uniform floor; the 32-bit checks have so much head-room that real
 // data collisions come almost entirely from identical cells.
+//
+// All five algorithms come from the algo registry, and the cell scan
+// runs through the sharded collection engine with one sparse census per
+// algorithm per worker.
 func AdlerComparison(cfg Config) []AdlerRow {
 	fs := corpus.StanfordU1().Scale(cfg.scale()).Build()
-	crc32tab := crc.New(crc.CRC32)
-
-	tcpS := dist.NewSparse()
-	f255S := dist.NewSparse()
-	f256S := dist.NewSparse()
-	adlerS := dist.NewSparse()
-	crcS := dist.NewSparse()
-
-	fs.Walk(func(path string, data []byte) error {
-		for off := 0; off+dist.CellSize <= len(data); off += dist.CellSize {
-			cell := data[off : off+dist.CellSize]
-			tcpS.Add(uint64(cellTCPSum(cell)))
-			f255S.Add(uint64(fletcher255(cell)))
-			f256S.Add(uint64(fletcher256(cell)))
-			adlerS.Add(uint64(adler.Checksum(cell)))
-			crcS.Add(crc32tab.Checksum(cell))
-		}
-		return nil
-	})
-
-	return []AdlerRow{
-		{"IP/TCP", 16, tcpS.CollisionProbability(), 1.0 / 65535},
-		{"Fletcher-255", 16, f255S.CollisionProbability(), 1.0 / (255 * 255)},
-		{"Fletcher-256", 16, f256S.CollisionProbability(), 1.0 / 65536},
-		{"Adler-32", 32, adlerS.CollisionProbability(), adlerUniform()},
-		{"CRC-32", 32, crcS.CollisionProbability(), 1.0 / (1 << 32)},
+	algos := make([]algo.Algorithm, len(adlerAlgos))
+	for i, s := range adlerAlgos {
+		algos[i] = algo.MustLookup(s.Algo)
 	}
-}
 
-// adlerUniform is Adler-32's effective uniform collision floor for
-// 48-byte inputs: with so few bytes the A sum spans only ~48·255
-// values and B a similarly bounded range, so the usable space is far
-// smaller than 2^32 (Adler's known weakness on short inputs).
-func adlerUniform() float64 {
-	// A ∈ [1, 1+48·255], B bounded by ~48·(1+48·255)/… — rather than
-	// model it, report the 2^-32 floor; the measured value's distance
-	// from it is the point.
-	return 1.0 / (1 << 32)
-}
+	censuses, err := sim.Collect(cfg.ctx(), fs, cfg.collectOptions(),
+		func() []*dist.Sparse {
+			out := make([]*dist.Sparse, len(algos))
+			for i := range out {
+				out[i] = dist.NewSparse()
+			}
+			return out
+		},
+		func(shard []*dist.Sparse, _ int, data []byte) {
+			for off := 0; off+dist.CellSize <= len(data); off += dist.CellSize {
+				cell := data[off : off+dist.CellSize]
+				for i, a := range algos {
+					shard[i].Add(a.Sum(cell))
+				}
+			}
+		},
+		func(dst, src []*dist.Sparse) {
+			for i := range dst {
+				dst[i].Merge(src[i])
+			}
+		},
+	)
+	if err != nil {
+		panic(err)
+	}
 
-func cellTCPSum(cell []byte) uint16  { return inet.Sum(cell) }
-func fletcher255(cell []byte) uint16 { return fletcher.Mod255.Sum(cell).Checksum16() }
-func fletcher256(cell []byte) uint16 { return fletcher.Mod256.Sum(cell).Checksum16() }
+	rows := make([]AdlerRow, len(algos))
+	for i, a := range algos {
+		rows[i] = AdlerRow{
+			Algorithm: adlerAlgos[i].Label,
+			Bits:      a.Width(),
+			Collision: censuses[i].CollisionProbability(),
+			Uniform:   a.UniformP(),
+		}
+	}
+	return rows
+}
 
 // FragSwapRow compares one checksum's miss rate under the same-offset
 // fragment-substitution model against its AAL5-splice miss rate.
@@ -200,7 +210,7 @@ func FragSwap(cfg Config) []FragSwapRow {
 		})
 
 		// AAL5 splice model on the same corpus for contrast.
-		res, err := sim.Run(p.Build(), p.Name, sim.Options{Build: opts})
+		res, err := sim.Run(cfg.ctx(), p.Build(), p.Name, cfg.simOptions(sim.Options{Build: opts}))
 		if err != nil {
 			panic(err)
 		}

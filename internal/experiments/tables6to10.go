@@ -46,14 +46,14 @@ func Table6(cfg Config) []Table6System {
 	for _, p := range table6Systems() {
 		fs := p.Scale(cfg.scale()).Build()
 
-		single, err := sim.CollectGlobal(fs, 1)
+		single, err := sim.CollectGlobal(cfg.ctx(), fs, 1, cfg.collectOptions())
 		if err != nil {
 			panic(err)
 		}
 		p1 := dist.FromHistogram(single.Histogram())
 		pk := p1
 
-		res, err := sim.Run(p.Scale(cfg.scale()).Build(), p.Name, sim.Options{})
+		res, err := sim.Run(cfg.ctx(), p.Scale(cfg.scale()).Build(), p.Name, cfg.simOptions(sim.Options{}))
 		if err != nil {
 			panic(err)
 		}
@@ -61,11 +61,11 @@ func Table6(cfg Config) []Table6System {
 		sys := Table6System{System: p.Name}
 		const n = 7 // cells per 256-byte packet
 		for k := 1; k <= 4; k++ {
-			g, err := sim.CollectGlobal(fs, k)
+			g, err := sim.CollectGlobal(cfg.ctx(), fs, k, cfg.collectOptions())
 			if err != nil {
 				panic(err)
 			}
-			loc, err := sim.CollectLocal(fs, k, 512)
+			loc, err := sim.CollectLocal(cfg.ctx(), fs, k, 512, cfg.collectOptions())
 			if err != nil {
 				panic(err)
 			}
@@ -119,14 +119,14 @@ func Table6Report(systems []Table6System) string {
 // and after LZW compression.
 func Table7(cfg Config) (plain, compressed sim.Result) {
 	p := corpus.SICSOpt().Scale(cfg.scale())
-	opt := sim.Options{CheckCRC: true}
+	opt := cfg.simOptions(sim.Options{CheckCRC: true})
 	var err error
-	plain, err = sim.Run(p.Build(), p.Name, opt)
+	plain, err = sim.Run(cfg.ctx(), p.Build(), p.Name, opt)
 	if err != nil {
 		panic(err)
 	}
 	opt.Compress = true
-	compressed, err = sim.Run(p.Build(), p.Name+" compressed", opt)
+	compressed, err = sim.Run(cfg.ctx(), p.Build(), p.Name+" compressed", opt)
 	if err != nil {
 		panic(err)
 	}
@@ -156,35 +156,63 @@ func table8Systems() []corpus.Profile {
 	}
 }
 
-// Table8Row is one system's three-way checksum comparison.
+// packetAlgos lists the algo-registry names the packet builder can
+// carry end-to-end, in table order.  Table 8 and the §5.5 pathological
+// comparison iterate this list and dispatch through the registry plus
+// tcpip.AlgByName — there is no per-algorithm switch anywhere in the
+// experiment layer.
+var packetAlgos = []string{"tcp", "f255", "f256"}
+
+// AlgResult is one algorithm's splice-simulation outcome inside a
+// multi-algorithm comparison row.
+type AlgResult struct {
+	// Algo is the internal/algo registry name.
+	Algo string
+	// Label is the packet builder's display name ("TCP", "F-255", ...).
+	Label string
+	Res   sim.Result
+}
+
+// Table8Row is one system's registry-driven checksum comparison.
 type Table8Row struct {
-	System string
-	TCP    sim.Result
-	F255   sim.Result
-	F256   sim.Result
+	System  string
+	Results []AlgResult
+}
+
+// Get returns the result for one registry name; it panics on a name the
+// row does not carry, which is always a programming error.
+func (r Table8Row) Get(name string) sim.Result {
+	for _, e := range r.Results {
+		if e.Algo == name {
+			return e.Res
+		}
+	}
+	panic(fmt.Sprintf("experiments: row %q has no algorithm %q", r.System, name))
+}
+
+// runPacketAlgos simulates one profile under every packetAlgos entry.
+func runPacketAlgos(cfg Config, p corpus.Profile) []AlgResult {
+	var out []AlgResult
+	for _, name := range packetAlgos {
+		alg, ok := tcpip.AlgByName(name)
+		if !ok {
+			panic(fmt.Sprintf("experiments: packet builder cannot carry %q", name))
+		}
+		res, err := sim.Run(cfg.ctx(), p.Scale(cfg.scale()).Build(), p.Name,
+			cfg.simOptions(sim.Options{Build: tcpip.BuildOptions{Alg: alg}}))
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, AlgResult{Algo: name, Label: alg.String(), Res: res})
+	}
+	return out
 }
 
 // Table8 runs the Fletcher comparison.
 func Table8(cfg Config) []Table8Row {
 	var out []Table8Row
 	for _, p := range table8Systems() {
-		row := Table8Row{System: p.Name}
-		for _, alg := range []tcpip.ChecksumAlg{tcpip.AlgTCP, tcpip.AlgFletcher255, tcpip.AlgFletcher256} {
-			res, err := sim.Run(p.Scale(cfg.scale()).Build(), p.Name,
-				sim.Options{Build: tcpip.BuildOptions{Alg: alg}})
-			if err != nil {
-				panic(err)
-			}
-			switch alg {
-			case tcpip.AlgTCP:
-				row.TCP = res
-			case tcpip.AlgFletcher255:
-				row.F255 = res
-			case tcpip.AlgFletcher256:
-				row.F256 = res
-			}
-		}
-		out = append(out, row)
+		out = append(out, Table8Row{System: p.Name, Results: runPacketAlgos(cfg, p)})
 	}
 	return out
 }
@@ -196,12 +224,9 @@ func Table8Report(rows []Table8Row) string {
 		Headers: []string{"System", "by", "Missed", "% splices"},
 	}
 	for _, r := range rows {
-		for _, e := range []struct {
-			name string
-			res  sim.Result
-		}{{"TCP", r.TCP}, {"F-255", r.F255}, {"F-256", r.F256}} {
-			t.AddRow(r.System, e.name, report.Count(e.res.MissedByChecksum),
-				report.Percent(e.res.MissRate(e.res.MissedByChecksum)))
+		for _, e := range r.Results {
+			t.AddRow(r.System, e.Label, report.Count(e.Res.MissedByChecksum),
+				report.Percent(e.Res.MissRate(e.Res.MissedByChecksum)))
 		}
 		t.AddRow("", "", "", "")
 	}
@@ -219,12 +244,12 @@ type Table9Row struct {
 func Table9(cfg Config) []Table9Row {
 	var out []Table9Row
 	for _, p := range table8Systems() {
-		hdr, err := sim.Run(p.Scale(cfg.scale()).Build(), p.Name, sim.Options{})
+		hdr, err := sim.Run(cfg.ctx(), p.Scale(cfg.scale()).Build(), p.Name, cfg.simOptions(sim.Options{}))
 		if err != nil {
 			panic(err)
 		}
-		trl, err := sim.Run(p.Scale(cfg.scale()).Build(), p.Name,
-			sim.Options{Build: tcpip.BuildOptions{Placement: tcpip.PlacementTrailer}})
+		trl, err := sim.Run(cfg.ctx(), p.Scale(cfg.scale()).Build(), p.Name,
+			cfg.simOptions(sim.Options{Build: tcpip.BuildOptions{Placement: tcpip.PlacementTrailer}}))
 		if err != nil {
 			panic(err)
 		}
@@ -258,12 +283,12 @@ type Table10Data struct {
 // Table10 runs the 2×2 comparison.
 func Table10(cfg Config) Table10Data {
 	p := corpus.StanfordU1()
-	hdr, err := sim.Run(p.Scale(cfg.scale()).Build(), p.Name, sim.Options{})
+	hdr, err := sim.Run(cfg.ctx(), p.Scale(cfg.scale()).Build(), p.Name, cfg.simOptions(sim.Options{}))
 	if err != nil {
 		panic(err)
 	}
-	trl, err := sim.Run(p.Scale(cfg.scale()).Build(), p.Name,
-		sim.Options{Build: tcpip.BuildOptions{Placement: tcpip.PlacementTrailer}})
+	trl, err := sim.Run(cfg.ctx(), p.Scale(cfg.scale()).Build(), p.Name,
+		cfg.simOptions(sim.Options{Build: tcpip.BuildOptions{Placement: tcpip.PlacementTrailer}}))
 	if err != nil {
 		panic(err)
 	}
@@ -348,17 +373,17 @@ type AblationData struct {
 // Ablations runs all three configurations on the same corpus.
 func Ablations(cfg Config) AblationData {
 	p := corpus.SICSOpt()
-	base, err := sim.Run(p.Scale(cfg.scale()).Build(), p.Name, sim.Options{})
+	base, err := sim.Run(cfg.ctx(), p.Scale(cfg.scale()).Build(), p.Name, cfg.simOptions(sim.Options{}))
 	if err != nil {
 		panic(err)
 	}
-	zero, err := sim.Run(p.Scale(cfg.scale()).Build(), p.Name,
-		sim.Options{Build: tcpip.BuildOptions{ZeroIPHeader: true}})
+	zero, err := sim.Run(cfg.ctx(), p.Scale(cfg.scale()).Build(), p.Name,
+		cfg.simOptions(sim.Options{Build: tcpip.BuildOptions{ZeroIPHeader: true}}))
 	if err != nil {
 		panic(err)
 	}
-	noinv, err := sim.Run(p.Scale(cfg.scale()).Build(), p.Name,
-		sim.Options{Build: tcpip.BuildOptions{NoInvert: true}})
+	noinv, err := sim.Run(cfg.ctx(), p.Scale(cfg.scale()).Build(), p.Name,
+		cfg.simOptions(sim.Options{Build: tcpip.BuildOptions{NoInvert: true}}))
 	if err != nil {
 		panic(err)
 	}
@@ -386,13 +411,21 @@ func AblationsReport(d AblationData) string {
 	return t.Render()
 }
 
-// Pathological runs the §5.5 pathological corpora under all three
-// checksums.
+// Pathological runs the §5.5 pathological corpora under every packet
+// algorithm the registry and builder share.
 type PathologicalRow struct {
-	Corpus string
-	TCP    sim.Result
-	F255   sim.Result
-	F256   sim.Result
+	Corpus  string
+	Results []AlgResult
+}
+
+// Get returns the result for one registry name (panics if absent).
+func (r PathologicalRow) Get(name string) sim.Result {
+	for _, e := range r.Results {
+		if e.Algo == name {
+			return e.Res
+		}
+	}
+	panic(fmt.Sprintf("experiments: row %q has no algorithm %q", r.Corpus, name))
 }
 
 // Pathological measures the §5.5 cases.
@@ -401,38 +434,29 @@ func Pathological(cfg Config) []PathologicalRow {
 	for _, p := range []corpus.Profile{
 		corpus.PathologicalPBM(), corpus.PathologicalPSHex(), corpus.PathologicalGmon(),
 	} {
-		row := PathologicalRow{Corpus: p.Name}
-		for _, alg := range []tcpip.ChecksumAlg{tcpip.AlgTCP, tcpip.AlgFletcher255, tcpip.AlgFletcher256} {
-			res, err := sim.Run(p.Scale(cfg.scale()).Build(), p.Name,
-				sim.Options{Build: tcpip.BuildOptions{Alg: alg}})
-			if err != nil {
-				panic(err)
-			}
-			switch alg {
-			case tcpip.AlgTCP:
-				row.TCP = res
-			case tcpip.AlgFletcher255:
-				row.F255 = res
-			case tcpip.AlgFletcher256:
-				row.F256 = res
-			}
-		}
-		out = append(out, row)
+		out = append(out, PathologicalRow{Corpus: p.Name, Results: runPacketAlgos(cfg, p)})
 	}
 	return out
 }
 
 // PathologicalReport renders the §5.5 comparison.
 func PathologicalReport(rows []PathologicalRow) string {
+	headers := []string{"corpus"}
+	if len(rows) > 0 {
+		for _, e := range rows[0].Results {
+			headers = append(headers, e.Label)
+		}
+	}
 	t := report.Table{
 		Title:   "§5.5: Pathological data patterns",
-		Headers: []string{"corpus", "TCP", "F-255", "F-256"},
+		Headers: headers,
 	}
 	for _, r := range rows {
-		t.AddRow(r.Corpus,
-			report.Percent(r.TCP.MissRate(r.TCP.MissedByChecksum)),
-			report.Percent(r.F255.MissRate(r.F255.MissedByChecksum)),
-			report.Percent(r.F256.MissRate(r.F256.MissedByChecksum)))
+		cells := []string{r.Corpus}
+		for _, e := range r.Results {
+			cells = append(cells, report.Percent(e.Res.MissRate(e.Res.MissedByChecksum)))
+		}
+		t.AddRow(cells...)
 	}
 	return t.Render()
 }

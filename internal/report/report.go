@@ -19,15 +19,23 @@ type Table struct {
 // AddRow appends one row.
 func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
 
-// Render returns the aligned text form.
+// Render returns the aligned text form.  Width sizing spans the longest
+// row, not just the header count, so a row with surplus cells renders
+// aligned instead of panicking mid-write.
 func (t *Table) Render() string {
-	widths := make([]int, len(t.Headers))
+	cols := len(t.Headers)
+	for _, row := range t.Rows {
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
+	widths := make([]int, cols)
 	for i, h := range t.Headers {
 		widths[i] = len(h)
 	}
 	for _, row := range t.Rows {
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}

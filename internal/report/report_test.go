@@ -31,6 +31,27 @@ func TestTableRenderAlignment(t *testing.T) {
 	}
 }
 
+func TestTableRenderRowsWiderThanHeaders(t *testing.T) {
+	// Rows may carry more cells than there are headers (the dynamic
+	// per-algorithm tables do this); Render must pad widths to the
+	// longest row rather than panic or truncate.
+	tbl := Table{Headers: []string{"sys"}}
+	tbl.AddRow("a", "1", "22")
+	tbl.AddRow("bb", "333", "4")
+	out := tbl.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[2], "1") || !strings.Contains(lines[2], "22") {
+		t.Errorf("row cells beyond headers dropped: %q", lines[2])
+	}
+	// Columns align: every "333" sits under its own column start.
+	if len(lines[2]) != len(lines[3]) {
+		t.Errorf("rows not padded to equal width:\n%q\n%q", lines[2], lines[3])
+	}
+}
+
 func TestPercent(t *testing.T) {
 	tests := []struct {
 		in   float64

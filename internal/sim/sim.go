@@ -7,13 +7,11 @@
 package sim
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
 	"realsum/internal/corpus"
-	"realsum/internal/dist"
-	"realsum/internal/fletcher"
-	"realsum/internal/inet"
 	"realsum/internal/splice"
 	"realsum/internal/tcpip"
 )
@@ -41,6 +39,8 @@ type Options struct {
 	// rates spike "at the level of individual directories or even
 	// files" depends on exactly this attribution.
 	TrackWorst int
+	// Progress, when non-nil, receives per-file throughput updates.
+	Progress *Progress
 }
 
 // FileMisses attributes splice-simulation outcomes to one file.
@@ -84,7 +84,9 @@ type Result struct {
 // Aggregation is sharded: each worker accumulates into a private
 // Result and a bounded top-K heap (TrackWorst entries), holding no lock
 // on the per-file path; the shards merge once after the walk drains.
-func Run(w corpus.Walker, name string, opt Options) (Result, error) {
+// ctx cancels the run between files; the partial result and ctx.Err()
+// are returned.
+func Run(ctx context.Context, w corpus.Walker, name string, opt Options) (Result, error) {
 	nw := opt.workers()
 	type job struct {
 		path string
@@ -108,6 +110,7 @@ func Run(w corpus.Walker, name string, opt Options) (Result, error) {
 				shard.Files++
 				shard.Packets += packets
 				shard.Bytes += uint64(len(j.data))
+				opt.Progress.Observe(len(j.data))
 				if opt.TrackWorst > 0 && counts.Remaining > 0 {
 					h.offer(FileMisses{
 						Path:      j.path,
@@ -121,6 +124,9 @@ func Run(w corpus.Walker, name string, opt Options) (Result, error) {
 	}
 
 	err := w.Walk(func(path string, data []byte) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
 		if opt.Compress {
 			data = corpus.Compress(data)
 		}
@@ -192,89 +198,4 @@ func (r *fileRunner) run(data []byte) (splice.Counts, uint64) {
 		prev = pkt
 	}
 	return counts, packets
-}
-
-// ---------------------------------------------------------------------
-// Distribution collection passes (Figures 2–3, Tables 4–6).
-
-// CellAlg selects which checksum the cell-distribution pass computes.
-type CellAlg int
-
-const (
-	// CellTCP histograms the ones-complement sum of each cell.
-	CellTCP CellAlg = iota
-	// CellFletcher255 histograms the packed mod-255 Fletcher pair.
-	CellFletcher255
-	// CellFletcher256 histograms the packed mod-256 Fletcher pair.
-	CellFletcher256
-)
-
-// CollectCellHistogram scans every complete 48-byte cell of every file
-// and histograms its checksum value under alg — the Figure 2/Figure 3
-// measurement.
-func CollectCellHistogram(w corpus.Walker, alg CellAlg) (*dist.Histogram, error) {
-	h := dist.NewHistogram()
-	err := w.Walk(func(path string, data []byte) error {
-		for off := 0; off+dist.CellSize <= len(data); off += dist.CellSize {
-			cell := data[off : off+dist.CellSize]
-			switch alg {
-			case CellTCP:
-				h.Add(inet.Sum(cell))
-			case CellFletcher255:
-				h.Add(fletcher.Mod255.Sum(cell).Checksum16())
-			case CellFletcher256:
-				h.Add(fletcher.Mod256.Sum(cell).Checksum16())
-			}
-		}
-		return nil
-	})
-	return h, err
-}
-
-// CollectBlockHistogram histograms the TCP checksum of aligned k-cell
-// blocks — the k=2,4,… series of Figure 2.
-func CollectBlockHistogram(w corpus.Walker, k int) (*dist.Histogram, error) {
-	g, err := CollectGlobal(w, k)
-	if err != nil {
-		return nil, err
-	}
-	return g.Histogram(), nil
-}
-
-// CollectGlobal runs the global k-cell block sampler over a corpus
-// (Table 4 "Measured", Table 5 "Globally Congruent", and the
-// exclude-identical subtraction).
-func CollectGlobal(w corpus.Walker, k int) (*dist.GlobalSampler, error) {
-	g := dist.NewGlobalSampler(k)
-	err := w.Walk(func(path string, data []byte) error {
-		g.AddFile(data)
-		return nil
-	})
-	return g, err
-}
-
-// CollectLocal runs the local congruence sampler (Table 5's "Locally
-// Congruent" and "Excluding Identical" columns) with the paper's
-// 512-byte window.
-func CollectLocal(w corpus.Walker, k, window int) (dist.LocalStats, error) {
-	var st dist.LocalStats
-	err := w.Walk(func(path string, data []byte) error {
-		st.Add(dist.SampleLocal(data, k, window))
-		return nil
-	})
-	return st, err
-}
-
-// CollectLocalAnyCells runs the paper's actual local sampling method —
-// non-contiguous k-cell blocks within the window (§4.6) — with
-// perWindow sampled pairs per window position.
-func CollectLocalAnyCells(w corpus.Walker, k, window, perWindow int) (dist.LocalStats, error) {
-	var st dist.LocalStats
-	var fileIdx uint64
-	err := w.Walk(func(path string, data []byte) error {
-		st.Add(dist.SampleLocalAnyCells(data, k, window, perWindow, 0xA11CE115^fileIdx))
-		fileIdx++
-		return nil
-	})
-	return st, err
 }

@@ -1,9 +1,11 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"testing"
 
+	"realsum/internal/algo"
 	"realsum/internal/corpus"
 	"realsum/internal/tcpip"
 )
@@ -19,9 +21,11 @@ func tiny(seed uint64, ft corpus.FileType, files, size int) *corpus.FS {
 	return p.Build()
 }
 
+func ctx() context.Context { return context.Background() }
+
 func TestRunCountsFilesAndPackets(t *testing.T) {
 	fs := tiny(1, corpus.UniformRandom, 4, 1024)
-	res, err := Run(fs, fs.Name, Options{})
+	res, err := Run(ctx(), fs, fs.Name, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,12 +52,12 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 	fs := tiny(2, corpus.GmonOut, 6, 2048)
 	opt := Options{CheckCRC: true}
 	opt.Workers = 1
-	a, err := Run(fs, "x", opt)
+	a, err := Run(ctx(), fs, "x", opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opt.Workers = 8
-	b, err := Run(fs, "x", opt)
+	b, err := Run(ctx(), fs, "x", opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,9 +66,74 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+func TestCollectDeterministicAcrossWorkerCounts(t *testing.T) {
+	// The distribution engine's core guarantee: identical merged shards
+	// at any worker count.
+	fs := tiny(21, corpus.CSource, 8, 4800)
+	type snapshot struct {
+		blocks  uint64
+		pmax    float64
+		pairs   uint64
+		anyCong uint64
+	}
+	take := func(workers int) snapshot {
+		opt := CollectOptions{Workers: workers}
+		g, err := CollectGlobal(ctx(), fs, 2, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := CollectLocal(ctx(), fs, 2, 1024, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ac, err := CollectLocalAnyCells(ctx(), fs, 2, 2048, 4, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snapshot{g.Blocks(), g.CongruentProbability(), st.Pairs, ac.Congruent}
+	}
+	base := take(1)
+	for _, w := range []int{2, 8} {
+		if got := take(w); got != base {
+			t.Errorf("workers=%d changed results: %+v vs %+v", w, got, base)
+		}
+	}
+}
+
+func TestCollectCancellation(t *testing.T) {
+	fs := tiny(22, corpus.UniformRandom, 20, 4800)
+	c, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CollectGlobal(c, fs, 1, CollectOptions{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("CollectGlobal err = %v, want context.Canceled", err)
+	}
+	if _, err := Run(c, fs, "x", Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("Run err = %v, want context.Canceled", err)
+	}
+}
+
+func TestProgressCounters(t *testing.T) {
+	fs := tiny(23, corpus.UniformRandom, 5, 1024)
+	var prog Progress
+	_, err := Run(ctx(), fs, "x", Options{Progress: &prog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Files() != 5 || prog.Bytes() != 5*1024 {
+		t.Errorf("progress = %d files, %d bytes; want 5 files, 5120 bytes",
+			prog.Files(), prog.Bytes())
+	}
+	if _, err := CollectGlobal(ctx(), fs, 1, CollectOptions{Progress: &prog}); err != nil {
+		t.Fatal(err)
+	}
+	if prog.Files() != 10 {
+		t.Errorf("cumulative files = %d, want 10", prog.Files())
+	}
+}
+
 func TestRunSegmentSizeAffectsPacketCount(t *testing.T) {
 	fs := tiny(3, corpus.UniformRandom, 1, 1000)
-	res, _ := Run(fs, "x", Options{SegmentSize: 100})
+	res, _ := Run(ctx(), fs, "x", Options{SegmentSize: 100})
 	if res.Packets != 10 {
 		t.Errorf("Packets = %d, want 10", res.Packets)
 	}
@@ -73,11 +142,11 @@ func TestRunSegmentSizeAffectsPacketCount(t *testing.T) {
 func TestCompressReducesMissRate(t *testing.T) {
 	// Table 7's effect: compression pushes the miss rate toward 2^-16.
 	fs := tiny(4, corpus.GmonOut, 10, 8192)
-	plain, err := Run(fs, "plain", Options{})
+	plain, err := Run(ctx(), fs, "plain", Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	comp, err := Run(fs, "comp", Options{Compress: true})
+	comp, err := Run(ctx(), fs, "comp", Options{Compress: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,8 +164,8 @@ func TestZeroIPHeaderAblationRaisesMisses(t *testing.T) {
 	// §6.2: leaving the IP header unfilled raises the miss count by
 	// orders of magnitude on zero-heavy data.
 	fs := tiny(5, corpus.GmonOut, 8, 8192)
-	filled, _ := Run(fs, "filled", Options{})
-	zeroed, _ := Run(fs, "zeroed", Options{Build: tcpip.BuildOptions{ZeroIPHeader: true}})
+	filled, _ := Run(ctx(), fs, "filled", Options{})
+	zeroed, _ := Run(ctx(), fs, "zeroed", Options{Build: tcpip.BuildOptions{ZeroIPHeader: true}})
 	if zeroed.MissedByChecksum <= filled.MissedByChecksum {
 		t.Errorf("zeroed-header misses (%d) not above filled (%d)",
 			zeroed.MissedByChecksum, filled.MissedByChecksum)
@@ -105,35 +174,35 @@ func TestZeroIPHeaderAblationRaisesMisses(t *testing.T) {
 
 func TestCollectCellHistogram(t *testing.T) {
 	fs := tiny(6, corpus.UniformRandom, 2, 4800)
-	for _, alg := range []CellAlg{CellTCP, CellFletcher255, CellFletcher256} {
-		h, err := CollectCellHistogram(fs, alg)
+	for _, name := range []string{"tcp", "f255", "f256"} {
+		h, err := CollectCellHistogram(ctx(), fs, algo.MustLookup(name), CollectOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
 		// 4800/48 = 100 cells per file, 2 files.
 		if h.Total() != 200 {
-			t.Errorf("alg %d: total = %d, want 200", alg, h.Total())
+			t.Errorf("alg %s: total = %d, want 200", name, h.Total())
 		}
 	}
 }
 
 func TestCollectGlobalAndLocal(t *testing.T) {
 	fs := tiny(7, corpus.EnglishText, 3, 4800)
-	g, err := CollectGlobal(fs, 2)
+	g, err := CollectGlobal(ctx(), fs, 2, CollectOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if g.Blocks() != 3*50 {
 		t.Errorf("blocks = %d, want 150", g.Blocks())
 	}
-	st, err := CollectLocal(fs, 1, 512)
+	st, err := CollectLocal(ctx(), fs, 1, 512, CollectOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.Pairs == 0 {
 		t.Error("no local pairs sampled")
 	}
-	bh, err := CollectBlockHistogram(fs, 2)
+	bh, err := CollectBlockHistogram(ctx(), fs, 2, CollectOptions{})
 	if err != nil || bh.Total() != 150 {
 		t.Errorf("block histogram: %v, total %d", err, bh.Total())
 	}
@@ -143,8 +212,8 @@ func TestStructuredDataMissesMoreThanUniform(t *testing.T) {
 	// The paper's central claim at the system level.
 	uni := tiny(8, corpus.UniformRandom, 8, 8192)
 	gmon := tiny(9, corpus.GmonOut, 8, 8192)
-	u, _ := Run(uni, "u", Options{})
-	g, _ := Run(gmon, "g", Options{})
+	u, _ := Run(ctx(), uni, "u", Options{})
+	g, _ := Run(ctx(), gmon, "g", Options{})
 	ur := u.MissRate(u.MissedByChecksum)
 	gr := g.MissRate(g.MissedByChecksum)
 	if gr <= ur {
@@ -155,8 +224,8 @@ func TestStructuredDataMissesMoreThanUniform(t *testing.T) {
 func TestFletcherBeatsTCPOnStructuredData(t *testing.T) {
 	// Table 8's shape at miniature scale.
 	gmon := tiny(10, corpus.GmonOut, 10, 8192)
-	tcp, _ := Run(gmon, "tcp", Options{})
-	f256, _ := Run(gmon, "f256", Options{Build: tcpip.BuildOptions{Alg: tcpip.AlgFletcher256}})
+	tcp, _ := Run(ctx(), gmon, "tcp", Options{})
+	f256, _ := Run(ctx(), gmon, "f256", Options{Build: tcpip.BuildOptions{Alg: tcpip.AlgFletcher256}})
 	tr := tcp.MissRate(tcp.MissedByChecksum)
 	fr := f256.MissRate(f256.MissedByChecksum)
 	if tr == 0 {
@@ -177,7 +246,7 @@ func (failingWalker) Walk(fn func(string, []byte) error) error {
 var errTestWalk = errors.New("walk failed")
 
 func TestRunPropagatesWalkError(t *testing.T) {
-	res, err := Run(failingWalker{}, "x", Options{})
+	res, err := Run(ctx(), failingWalker{}, "x", Options{})
 	if err != errTestWalk {
 		t.Fatalf("err = %v", err)
 	}
@@ -185,23 +254,23 @@ func TestRunPropagatesWalkError(t *testing.T) {
 	if res.Files != 1 {
 		t.Errorf("Files = %d", res.Files)
 	}
-	if _, err := CollectGlobal(failingWalker{}, 1); err != errTestWalk {
+	if _, err := CollectGlobal(ctx(), failingWalker{}, 1, CollectOptions{}); err != errTestWalk {
 		t.Errorf("CollectGlobal err = %v", err)
 	}
-	if _, err := CollectLocal(failingWalker{}, 1, 512); err != errTestWalk {
+	if _, err := CollectLocal(ctx(), failingWalker{}, 1, 512, CollectOptions{}); err != errTestWalk {
 		t.Errorf("CollectLocal err = %v", err)
 	}
-	if _, err := CollectLocalAnyCells(failingWalker{}, 1, 512, 2); err != errTestWalk {
+	if _, err := CollectLocalAnyCells(ctx(), failingWalker{}, 1, 512, 2, CollectOptions{}); err != errTestWalk {
 		t.Errorf("CollectLocalAnyCells err = %v", err)
 	}
-	if _, err := CollectCellHistogram(failingWalker{}, CellTCP); err != errTestWalk {
+	if _, err := CollectCellHistogram(ctx(), failingWalker{}, algo.MustLookup("tcp"), CollectOptions{}); err != errTestWalk {
 		t.Errorf("CollectCellHistogram err = %v", err)
 	}
 }
 
 func TestRunTrackWorst(t *testing.T) {
 	fs := tiny(20, corpus.GmonOut, 6, 4096)
-	res, err := Run(fs, "x", Options{TrackWorst: 3})
+	res, err := Run(ctx(), fs, "x", Options{TrackWorst: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +283,7 @@ func TestRunTrackWorst(t *testing.T) {
 		}
 	}
 	// Without tracking, nothing is recorded.
-	res2, _ := Run(fs, "x", Options{})
+	res2, _ := Run(ctx(), fs, "x", Options{})
 	if res2.WorstFiles != nil {
 		t.Error("WorstFiles recorded without TrackWorst")
 	}

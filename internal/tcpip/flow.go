@@ -33,6 +33,22 @@ func (a ChecksumAlg) String() string {
 	return fmt.Sprintf("ChecksumAlg(%d)", int(a))
 }
 
+// algsByName maps internal/algo registry names onto the packet builder's
+// enum, so registry-driven experiments (Table 8, §5.5) can select the
+// builder algorithm from data instead of a switch.
+var algsByName = map[string]ChecksumAlg{
+	"tcp":  AlgTCP,
+	"f255": AlgFletcher255,
+	"f256": AlgFletcher256,
+}
+
+// AlgByName returns the packet-builder algorithm for an algo-registry
+// name, and whether the builder can carry that algorithm end-to-end.
+func AlgByName(name string) (ChecksumAlg, bool) {
+	a, ok := algsByName[name]
+	return a, ok
+}
+
 // Placement selects where the checksum field lives — the comparison axis
 // of Tables 9 and 10.
 type Placement int

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# CI gate: vet, build, full test suite, and the race detector over the
-# concurrent packages (the sharded simulation driver and the splice
-# enumerator it fans out to).
+# CI gate: vet, build, full test suite, the race detector over the
+# concurrent packages and the workers-determinism guarantees, and a
+# small-scale smoke of both benchmark JSON emitters.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,5 +16,17 @@ go test ./...
 
 echo "== go test -race (sim, splice) =="
 go test -race ./internal/sim/... ./internal/splice/...
+
+echo "== go test -race (workers determinism) =="
+go test -race -run 'Deterministic' ./internal/sim/... ./internal/experiments/...
+
+echo "== bench smoke (splice + dist, scale 0.02) =="
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+go run ./cmd/paper -benchjson "$tmp/BENCH_splice.json" -scale 0.02 -benchiters 1
+go run ./cmd/paper -benchdistjson "$tmp/BENCH_dist.json" -scale 0.02 -benchiters 1
+for f in BENCH_splice.json BENCH_dist.json; do
+    test -s "$tmp/$f" || { echo "missing $f"; exit 1; }
+done
 
 echo "CI OK"
