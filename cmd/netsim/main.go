@@ -1,0 +1,82 @@
+// Command netsim runs the Monte Carlo end-to-end fault-injection
+// pipeline on its own: corpus files are encoded as TCP/IPv4 (or
+// UDP/IPv4 + fragmentation) packets inside AAL5/ATM cells, pushed
+// through a fault channel, and scored at the receiver against every
+// algorithm in the registry.
+//
+// Usage:
+//
+//	netsim [-profile "smeg.stanford.edu:/u1"] [-scale 1.0] [-dir PATH]
+//	       [-mode tcp|udpfrag] [-channels drop,bitflip,burst,reorder,misinsert]
+//	       [-trials 6] [-seed 0] [-workers N]
+//
+// -dir scores a real directory tree instead of a synthetic profile.
+// Output is byte-identical at any -workers count.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+
+	"realsum/internal/corpus"
+	"realsum/internal/netsim"
+)
+
+func main() {
+	profile := flag.String("profile", "smeg.stanford.edu:/u1", "synthetic corpus profile (see cmd/corpus -list for names)")
+	scale := flag.Float64("scale", 1.0, "corpus scale factor")
+	dir := flag.String("dir", "", "score a real directory tree instead of a synthetic profile")
+	mode := flag.String("mode", "tcp", "transport encoding: tcp (one packet per PDU) or udpfrag (UDP datagrams + IP fragmentation)")
+	channels := flag.String("channels", "", "comma-separated fault channels (default: all of drop,bitflip,burst,reorder,misinsert)")
+	trials := flag.Int("trials", 0, "trials per (file × channel) (default 6)")
+	seed := flag.Uint64("seed", 0, "root seed; every trial's fault pattern derives from it")
+	workers := flag.Int("workers", 0, "parallel workers (default GOMAXPROCS; output is identical at any count)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	cfg := netsim.Config{Trials: *trials, Seed: *seed, Workers: *workers}
+	switch *mode {
+	case "tcp":
+		cfg.Mode = netsim.ModeTCP
+	case "udpfrag":
+		cfg.Mode = netsim.ModeUDPFrag
+	default:
+		fmt.Fprintf(os.Stderr, "netsim: unknown -mode %q (want tcp or udpfrag)\n", *mode)
+		os.Exit(2)
+	}
+	if *channels != "" {
+		specs, unknown := netsim.ChannelsByName(strings.Split(*channels, ","))
+		if len(unknown) > 0 {
+			fmt.Fprintf(os.Stderr, "netsim: unknown channels %v (want a subset of drop,bitflip,burst,reorder,misinsert)\n", unknown)
+			os.Exit(2)
+		}
+		cfg.Channels = specs
+	}
+
+	var walker corpus.Walker
+	if *dir != "" {
+		walker = corpus.DirWalker(*dir)
+	} else {
+		p, ok := corpus.ByName(*profile)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "netsim: unknown profile %q\n", *profile)
+			os.Exit(2)
+		}
+		p = p.Scale(*scale)
+		p.Seed ^= *seed
+		walker = p.Build()
+	}
+
+	tally, err := netsim.Run(ctx, walker, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(tally.Report())
+}

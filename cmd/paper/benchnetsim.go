@@ -1,0 +1,98 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"realsum/internal/corpus"
+	"realsum/internal/netsim"
+)
+
+// benchNetsimRecord is one line of BENCH_netsim.json: the cost of
+// pushing the corpus through one fault channel at one worker count.
+// AllocsPerTrial measures the whole pass (corpus build + packetization
+// + trials) divided by trial count; the per-trial hot path itself is
+// AllocsPerRun-guarded to zero in internal/netsim, so this stays small
+// and scale-independent.
+type benchNetsimRecord struct {
+	Name           string  `json:"name"`
+	Scale          float64 `json:"scale"`
+	Workers        int     `json:"workers"`
+	Trials         uint64  `json:"trials"`
+	TrialsPerS     float64 `json:"trials_per_s"`
+	MBPerS         float64 `json:"mb_per_s"`
+	AllocsPerTrial float64 `json:"allocs_per_trial"`
+	Speedup        float64 `json:"speedup_vs_1worker"`
+}
+
+// runBenchNetsimJSON times the netsim pipeline per fault model and
+// writes the records to path, at one worker and at GOMAXPROCS workers.
+func runBenchNetsimJSON(ctx context.Context, path string, scale float64, seed uint64, iters int) error {
+	if iters < 1 {
+		return fmt.Errorf("-benchiters must be >= 1 (got %d)", iters)
+	}
+	workerCounts := []int{1}
+	if maxw := runtime.GOMAXPROCS(0); maxw > 1 {
+		workerCounts = append(workerCounts, maxw)
+	}
+
+	var records []benchNetsimRecord
+	for _, spec := range netsim.DefaultChannels() {
+		var oneWorkerNs float64
+		for _, nw := range workerCounts {
+			var trials, bytes uint64
+			runtime.GC()
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			start := time.Now()
+			for it := 0; it < iters; it++ {
+				p := corpus.StanfordU1().Scale(scale)
+				p.Seed ^= seed
+				tally, err := netsim.Run(ctx, p.Build(), netsim.Config{
+					Seed:     seed,
+					Channels: []netsim.ChannelSpec{spec},
+					Workers:  nw,
+				})
+				if err != nil {
+					return err
+				}
+				trials += tally.Channels[0].Trials
+				bytes += tally.Channels[0].Bytes
+			}
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&m1)
+
+			sec := elapsed.Seconds()
+			nsPerOp := float64(elapsed.Nanoseconds()) / float64(iters)
+			rec := benchNetsimRecord{
+				Name:           "netsim_" + spec.Name,
+				Scale:          scale,
+				Workers:        nw,
+				Trials:         trials / uint64(iters),
+				TrialsPerS:     float64(trials) / sec,
+				MBPerS:         float64(bytes) / sec / 1e6,
+				AllocsPerTrial: float64(m1.Mallocs-m0.Mallocs) / float64(trials),
+			}
+			if nw == 1 {
+				oneWorkerNs = nsPerOp
+			}
+			if oneWorkerNs > 0 {
+				rec.Speedup = oneWorkerNs / nsPerOp
+			}
+			records = append(records, rec)
+			fmt.Fprintf(os.Stderr, "[benchnetsim %s w=%d: %.0f trials/s, %.1f MB/s, %.1f allocs/trial, speedup %.2fx]\n",
+				rec.Name, nw, rec.TrialsPerS, rec.MBPerS, rec.AllocsPerTrial, rec.Speedup)
+		}
+	}
+
+	out, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	return os.WriteFile(path, out, 0o644)
+}

@@ -4,9 +4,11 @@
 //
 // Usage:
 //
-//	paper [-scale 1.0] [-run table1,figure2,...] [-workers N] [-progress]
+//	paper [-scale 1.0] [-run table1,figure2,...] [-workers N] [-seed S] [-progress]
+//	paper -netsim [-scale 1.0] [-workers N] [-seed S]
 //	paper -benchjson BENCH_splice.json [-scale 0.05] [-benchiters 3]
 //	paper -benchdistjson BENCH_dist.json [-scale 0.05] [-benchiters 3]
+//	paper -benchnetsimjson BENCH_netsim.json [-scale 0.05] [-benchiters 3]
 //
 // With no -run flag every experiment runs in paper order.  The -scale
 // flag multiplies the corpus sizes (1.0 ≈ a few MB per file system; the
@@ -14,6 +16,20 @@
 // -progress prints live throughput to stderr; -workers bounds per-pass
 // parallelism (outputs are byte-identical at any worker count).
 // Interrupt (Ctrl-C) cancels the run between files.
+//
+// -seed is the single root seed behind every randomized pass: corpus
+// generation, the §4.6 local any-cells sampling, the end-to-end loss
+// runs and the netsim fault-injection trials all derive their RNG
+// streams from it.  The default 0 reproduces the historical per-pass
+// seeds, so committed goldens and EXPERIMENTS.md correspond to -seed 0;
+// any other value reshapes every corpus and fault pattern coherently
+// while preserving worker-count independence.
+//
+// -netsim runs only the Monte Carlo fault-injection pipeline (§7's
+// alternative error models): corpus files ride TCP/IPv4 (and
+// UDP + IP fragmentation) inside AAL5/ATM cells through cell-drop,
+// bit-flip, solid-burst, reorder and misinsertion channels, and every
+// registry algorithm is scored on the corrupted deliveries.
 //
 // -benchjson times the Table 1–3 splice simulations instead of printing
 // tables, writing ns/op, MB/s and allocs/op records that seed the
@@ -40,16 +56,19 @@ func main() {
 	run := flag.String("run", "", "comma-separated experiments (default: all): table1..table10, figure2, figure3, effectivebits, ablations, pathological")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	workers := flag.Int("workers", 0, "parallel workers per pass (default GOMAXPROCS; output is identical at any count)")
+	seed := flag.Uint64("seed", 0, "root seed for every randomized pass: corpus generation, local any-cells sampling, end-to-end loss and netsim trials all derive from it (0 = the historical defaults the committed goldens use)")
+	netsimOnly := flag.Bool("netsim", false, "run only the netsim fault-injection pass (shorthand for -run netsim)")
 	progress := flag.Bool("progress", false, "print live throughput (files, MB, MB/s) to stderr while experiments run")
 	benchjson := flag.String("benchjson", "", "time the Table 1–3 splice simulations and write ns/op, MB/s and allocs/op records to this file (e.g. BENCH_splice.json), then exit")
 	benchdistjson := flag.String("benchdistjson", "", "time the Figure 2–3 / Table 4–5 distribution passes and write records (incl. parallel speedup) to this file (e.g. BENCH_dist.json), then exit")
+	benchnetsimjson := flag.String("benchnetsimjson", "", "time the netsim fault-injection pipeline per fault model and write trials/sec, MB/s and allocs/trial records to this file (e.g. BENCH_netsim.json), then exit")
 	benchIters := flag.Int("benchiters", 3, "iterations per -benchjson/-benchdistjson record")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	if *benchjson != "" || *benchdistjson != "" {
+	if *benchjson != "" || *benchdistjson != "" || *benchnetsimjson != "" {
 		if *benchjson != "" {
 			if err := runBenchJSON(ctx, *benchjson, *scale, *benchIters); err != nil {
 				fmt.Fprintf(os.Stderr, "paper: benchjson: %v\n", err)
@@ -62,6 +81,12 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		if *benchnetsimjson != "" {
+			if err := runBenchNetsimJSON(ctx, *benchnetsimjson, *scale, *seed, *benchIters); err != nil {
+				fmt.Fprintf(os.Stderr, "paper: benchnetsimjson: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		return
 	}
 
@@ -69,6 +94,7 @@ func main() {
 		"table1", "table2", "table3", "figure2", "figure3", "table4",
 		"table5", "table6", "table7", "table8", "table9", "table10",
 		"effectivebits", "ablations", "pathological", "endtoend", "adler", "census", "locality", "fragswap",
+		"netsim",
 	}
 	if *list {
 		fmt.Println(strings.Join(names, "\n"))
@@ -76,6 +102,9 @@ func main() {
 	}
 
 	want := map[string]bool{}
+	if *netsimOnly {
+		*run = "netsim"
+	}
 	if *run == "" {
 		for _, n := range names {
 			want[n] = true
@@ -86,7 +115,7 @@ func main() {
 		}
 	}
 
-	cfg := experiments.Config{Scale: *scale, Workers: *workers, Ctx: ctx}
+	cfg := experiments.Config{Scale: *scale, Workers: *workers, Seed: *seed, Ctx: ctx}
 	if *progress {
 		prog := &sim.Progress{}
 		cfg.Progress = prog
@@ -143,6 +172,7 @@ func main() {
 	step("census", func() string { return experiments.DataCensusReport(experiments.DataCensus(cfg)) })
 	step("locality", func() string { return experiments.LocalityReport(experiments.Locality(cfg)) })
 	step("fragswap", func() string { return experiments.FragSwapReport(experiments.FragSwap(cfg)) })
+	step("netsim", func() string { return experiments.NetSimReport(experiments.NetSim(cfg)) })
 }
 
 // startProgress prints cumulative throughput to stderr every 2 seconds

@@ -1,15 +1,17 @@
 // Package errmodel implements the alternative error models §7 of the
-// paper discusses alongside the splice model: contiguous burst errors,
-// independent bit flips, and substitution of data by uniform garbage.
-// It provides a Monte-Carlo harness for measuring how often a given
-// integrity check detects each kind of damage, which the benchmark
-// suite uses to confirm the classical guarantees (a w-bit CRC catches
-// every burst shorter than w+1 bits; the TCP checksum catches every
-// burst of 15 bits or less; random substitutions on uniform data are
-// missed at ≈2^-w).
+// paper discusses alongside the splice model: contiguous burst errors
+// (random-interior and solid), independent bit flips, substitution of
+// data by uniform garbage, and record-level misordering/misinsertion
+// (the ATM cell faults, at Unit = 48).  It provides a Monte-Carlo
+// harness for measuring how often a given integrity check detects each
+// kind of damage, which the benchmark suite uses to confirm the
+// classical guarantees (a w-bit CRC catches every burst shorter than
+// w+1 bits; the TCP checksum catches every burst of 15 bits or less;
+// random substitutions on uniform data are missed at ≈2^-w).
 package errmodel
 
 import (
+	"bytes"
 	"math/rand/v2"
 
 	"realsum/internal/crc"
@@ -22,10 +24,22 @@ import (
 // must leave the original untouched.
 type Model interface {
 	// Corrupt returns a damaged copy of data.  It must change at least
-	// one byte.
+	// one byte, except for the record-level models (Reorder, Misinsert),
+	// which can only guarantee a change when the stream holds two
+	// differing records.
 	Corrupt(rng *rand.Rand, data []byte) []byte
 	// Name identifies the model in reports.
 	Name() string
+}
+
+// InPlacer is a Model that can also damage a buffer directly, without
+// the copy Corrupt makes — the form zero-allocation pipelines (the
+// netsim per-trial hot path) consume.  CorruptInPlace must consume rng
+// exactly as Corrupt does, so both forms produce identical damage from
+// identical rng state.
+type InPlacer interface {
+	Model
+	CorruptInPlace(rng *rand.Rand, data []byte)
 }
 
 // Burst flips a contiguous run of bits: the first and last bit of the
@@ -42,6 +56,12 @@ func (b Burst) Name() string { return "burst" }
 // Corrupt implements Model.
 func (b Burst) Corrupt(rng *rand.Rand, data []byte) []byte {
 	out := append([]byte(nil), data...)
+	b.CorruptInPlace(rng, out)
+	return out
+}
+
+// CorruptInPlace implements InPlacer.
+func (b Burst) CorruptInPlace(rng *rand.Rand, out []byte) {
 	n := len(out) * 8
 	if b.Bits < 1 || b.Bits > n {
 		panic("errmodel: burst length out of range")
@@ -57,7 +77,41 @@ func (b Burst) Corrupt(rng *rand.Rand, data []byte) []byte {
 			}
 		}
 	}
+}
+
+// SolidBurst inverts every bit of an exact Bits-long span at a random
+// bit offset — the solid-burst channel model, where the medium inverts
+// a contiguous region outright.  Solid bursts are the fault the
+// ones-complement sum is classically weakest against on real data: a
+// solid burst whose length is a multiple of 16 lying inside a run of
+// 0x00 (or 0xFF) bytes leaves the TCP checksum unchanged, because the
+// flipped span contributes exactly 0xFFFF ≡ 0 to the sum at any bit
+// alignment, while any CRC of width ≥ Bits detects it unconditionally.
+type SolidBurst struct {
+	// Bits is the burst length in bits (≥ 1).
+	Bits int
+}
+
+// Name implements Model.
+func (s SolidBurst) Name() string { return "solidburst" }
+
+// Corrupt implements Model.
+func (s SolidBurst) Corrupt(rng *rand.Rand, data []byte) []byte {
+	out := append([]byte(nil), data...)
+	s.CorruptInPlace(rng, out)
 	return out
+}
+
+// CorruptInPlace implements InPlacer.
+func (s SolidBurst) CorruptInPlace(rng *rand.Rand, out []byte) {
+	n := len(out) * 8
+	if s.Bits < 1 || s.Bits > n {
+		panic("errmodel: burst length out of range")
+	}
+	start := rng.IntN(n - s.Bits + 1)
+	for i := start; i < start+s.Bits; i++ {
+		out[i/8] ^= 0x80 >> uint(i%8)
+	}
 }
 
 // BitFlips flips K distinct random bits.
@@ -71,20 +125,53 @@ func (f BitFlips) Name() string { return "bitflips" }
 // Corrupt implements Model.
 func (f BitFlips) Corrupt(rng *rand.Rand, data []byte) []byte {
 	out := append([]byte(nil), data...)
+	f.CorruptInPlace(rng, out)
+	return out
+}
+
+// inPlaceFlipMax bounds the stack-resident duplicate-tracking array of
+// CorruptInPlace; larger K falls back to a map.
+const inPlaceFlipMax = 64
+
+// CorruptInPlace implements InPlacer.  It draws candidate bits exactly
+// as Corrupt always has (retry on duplicates), tracking the chosen bits
+// in a stack array for K ≤ 64 so the common small-K case allocates
+// nothing.
+func (f BitFlips) CorruptInPlace(rng *rand.Rand, out []byte) {
 	n := len(out) * 8
 	if f.K < 1 || f.K > n {
 		panic("errmodel: flip count out of range")
 	}
-	seen := make(map[int]bool, f.K)
-	for len(seen) < f.K {
+	if f.K > inPlaceFlipMax {
+		seen := make(map[int]bool, f.K)
+		for len(seen) < f.K {
+			bit := rng.IntN(n)
+			if seen[bit] {
+				continue
+			}
+			seen[bit] = true
+			out[bit/8] ^= 0x80 >> uint(bit%8)
+		}
+		return
+	}
+	var picked [inPlaceFlipMax]int
+	count := 0
+	for count < f.K {
 		bit := rng.IntN(n)
-		if seen[bit] {
+		dup := false
+		for i := 0; i < count; i++ {
+			if picked[i] == bit {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		seen[bit] = true
+		picked[count] = bit
+		count++
 		out[bit/8] ^= 0x80 >> uint(bit%8)
 	}
-	return out
 }
 
 // Garbage replaces a random span of Bytes bytes with uniform random
@@ -100,6 +187,15 @@ func (g Garbage) Name() string { return "garbage" }
 // Corrupt implements Model.
 func (g Garbage) Corrupt(rng *rand.Rand, data []byte) []byte {
 	out := append([]byte(nil), data...)
+	g.CorruptInPlace(rng, out)
+	return out
+}
+
+// CorruptInPlace implements InPlacer.  The change guarantee survives
+// in-place operation: a retry only happens when the regenerated span
+// equalled the previous one byte-for-byte, in which case the buffer
+// still holds the original span.
+func (g Garbage) CorruptInPlace(rng *rand.Rand, out []byte) {
 	if g.Bytes < 1 || g.Bytes > len(out) {
 		panic("errmodel: garbage span out of range")
 	}
@@ -107,13 +203,111 @@ func (g Garbage) Corrupt(rng *rand.Rand, data []byte) []byte {
 	for {
 		changed := false
 		for i := start; i < start+g.Bytes; i++ {
+			old := out[i]
 			out[i] = byte(rng.Uint32())
-			if out[i] != data[i] {
+			if out[i] != old {
 				changed = true
 			}
 		}
 		if changed {
-			return out
+			return
+		}
+	}
+}
+
+// Reorder swaps two adjacent Unit-byte records — misordering at the
+// record granularity the caller chooses (Unit = 48 models ATM cell
+// payload missequencing, §7's cell misordering fault).  It scans from a
+// random record for an adjacent pair that differ, so the damage is real
+// whenever any two adjacent records differ; a stream of identical
+// records (the one stream a reorder genuinely cannot damage) is left
+// unchanged.  Trailing bytes beyond the last whole record never move.
+type Reorder struct {
+	// Unit is the record size in bytes (≥ 1).
+	Unit int
+}
+
+// Name implements Model.
+func (r Reorder) Name() string { return "reorder" }
+
+// Corrupt implements Model.
+func (r Reorder) Corrupt(rng *rand.Rand, data []byte) []byte {
+	out := append([]byte(nil), data...)
+	r.CorruptInPlace(rng, out)
+	return out
+}
+
+// CorruptInPlace implements InPlacer.
+func (r Reorder) CorruptInPlace(rng *rand.Rand, out []byte) {
+	if r.Unit < 1 {
+		panic("errmodel: reorder unit out of range")
+	}
+	n := len(out) / r.Unit
+	if n < 2 {
+		return
+	}
+	start := rng.IntN(n - 1)
+	for k := 0; k < n-1; k++ {
+		i := start + k
+		if i >= n-1 {
+			i -= n - 1
+		}
+		a := out[i*r.Unit : (i+1)*r.Unit]
+		b := out[(i+1)*r.Unit : (i+2)*r.Unit]
+		if !bytes.Equal(a, b) {
+			for j := range a {
+				a[j], b[j] = b[j], a[j]
+			}
+			return
+		}
+	}
+}
+
+// Misinsert overwrites one record with a copy of another — AAL5 cell
+// misinsertion, where a cell from elsewhere in the stream is delivered
+// in place of the right one.  The target record is uniform; the source
+// is the first record (scanning from a random start) whose bytes differ
+// from the target, so the damage is real whenever the stream holds two
+// differing records; otherwise the data is left unchanged.
+type Misinsert struct {
+	// Unit is the record size in bytes (≥ 1).
+	Unit int
+}
+
+// Name implements Model.
+func (m Misinsert) Name() string { return "misinsert" }
+
+// Corrupt implements Model.
+func (m Misinsert) Corrupt(rng *rand.Rand, data []byte) []byte {
+	out := append([]byte(nil), data...)
+	m.CorruptInPlace(rng, out)
+	return out
+}
+
+// CorruptInPlace implements InPlacer.
+func (m Misinsert) CorruptInPlace(rng *rand.Rand, out []byte) {
+	if m.Unit < 1 {
+		panic("errmodel: misinsert unit out of range")
+	}
+	n := len(out) / m.Unit
+	if n < 2 {
+		return
+	}
+	j := rng.IntN(n)
+	start := rng.IntN(n)
+	dst := out[j*m.Unit : (j+1)*m.Unit]
+	for k := 0; k < n; k++ {
+		i := start + k
+		if i >= n {
+			i -= n
+		}
+		if i == j {
+			continue
+		}
+		src := out[i*m.Unit : (i+1)*m.Unit]
+		if !bytes.Equal(src, dst) {
+			copy(dst, src)
+			return
 		}
 	}
 }

@@ -22,7 +22,10 @@ func TestModelsDoNotMutateOriginal(t *testing.T) {
 	data := testData(64)
 	ref := append([]byte(nil), data...)
 	rng := rand.New(rand.NewPCG(1, 1))
-	for _, m := range []Model{Burst{Bits: 9}, BitFlips{K: 3}, Garbage{Bytes: 8}} {
+	for _, m := range []Model{
+		Burst{Bits: 9}, BitFlips{K: 3}, Garbage{Bytes: 8},
+		SolidBurst{Bits: 9}, Reorder{Unit: 8}, Misinsert{Unit: 8},
+	} {
 		out := m.Corrupt(rng, data)
 		if !bytes.Equal(data, ref) {
 			t.Fatalf("%s mutated its input", m.Name())

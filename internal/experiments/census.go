@@ -73,7 +73,7 @@ type LocalityOfFailure struct {
 // Locality runs the attribution over the Stanford /u1 profile.
 func Locality(cfg Config) LocalityOfFailure {
 	p := corpus.StanfordU1()
-	res, err := sim.Run(cfg.ctx(), p.Scale(cfg.scale()).Build(), p.Name,
+	res, err := sim.Run(cfg.ctx(), cfg.build(p), p.Name,
 		cfg.simOptions(sim.Options{TrackWorst: 10}))
 	if err != nil {
 		panic(err)

@@ -27,6 +27,12 @@ type Config struct {
 	// Workers bounds per-pass parallelism (default GOMAXPROCS).  Every
 	// pass is deterministic in its output at any worker count.
 	Workers int
+	// Seed is the single root seed for every randomized pass: corpus
+	// generation, local any-cells sampling, end-to-end loss runs and
+	// netsim trials all derive their seeds from it.  Zero reproduces the
+	// historical per-pass seeds, so the committed goldens correspond to
+	// Seed 0.
+	Seed uint64
 	// Progress, when non-nil, receives per-file throughput updates from
 	// every pass — the source of cmd/paper -progress.
 	Progress *sim.Progress
@@ -50,7 +56,16 @@ func (c Config) ctx() context.Context {
 
 // collectOptions carries the Config's plumbing into a collection pass.
 func (c Config) collectOptions() sim.CollectOptions {
-	return sim.CollectOptions{Workers: c.Workers, Progress: c.Progress}
+	return sim.CollectOptions{Workers: c.Workers, Seed: c.Seed, Progress: c.Progress}
+}
+
+// build scales a profile and folds the Config's root seed into its
+// corpus seed — the one place every experiment materializes a corpus,
+// so -seed reshapes every synthetic file system coherently.
+func (c Config) build(p corpus.Profile) *corpus.FS {
+	p = p.Scale(c.scale())
+	p.Seed ^= c.Seed
+	return p.Build()
 }
 
 // simOptions applies the Config's plumbing to splice-run options.
@@ -64,7 +79,7 @@ func (c Config) simOptions(opt sim.Options) sim.Options {
 func runSystems(cfg Config, profiles []corpus.Profile, opt sim.Options) []sim.Result {
 	var out []sim.Result
 	for _, p := range profiles {
-		fs := p.Scale(cfg.scale()).Build()
+		fs := cfg.build(p)
 		res, err := sim.Run(cfg.ctx(), fs, p.Name, cfg.simOptions(opt))
 		if err != nil {
 			panic(fmt.Sprintf("experiments: %s: %v", p.Name, err))
@@ -127,7 +142,7 @@ type Figure2Data struct {
 
 // Figure2 collects the Figure 2 series.
 func Figure2(cfg Config) Figure2Data {
-	fs := corpus.StanfordU1().Scale(cfg.scale()).Build()
+	fs := cfg.build(corpus.StanfordU1())
 	out := Figure2Data{PDF: map[int][]float64{}, CDF65: map[int][]float64{}}
 	var single *dist.Histogram
 	for _, k := range []int{1, 2, 4} {
@@ -189,7 +204,7 @@ var figure3Algos = []struct{ Label, Algo string }{
 // Figure3 reproduces the PDF comparison of TCP vs Fletcher-255 vs
 // Fletcher-256 over 48-byte cells (most common 256 values).
 func Figure3(cfg Config) map[string][]float64 {
-	fs := corpus.StanfordU1().Scale(cfg.scale()).Build()
+	fs := cfg.build(corpus.StanfordU1())
 	out := map[string][]float64{}
 	for _, s := range figure3Algos {
 		h, err := sim.CollectCellHistogram(cfg.ctx(), fs, algo.MustLookup(s.Algo), cfg.collectOptions())
@@ -226,7 +241,7 @@ type Table4Row struct {
 
 // Table4 computes the match probabilities for k = 1..5.
 func Table4(cfg Config) []Table4Row {
-	fs := corpus.StanfordU1().Scale(cfg.scale()).Build()
+	fs := cfg.build(corpus.StanfordU1())
 	single, err := sim.CollectGlobal(cfg.ctx(), fs, 1, cfg.collectOptions())
 	if err != nil {
 		panic(err)
@@ -282,7 +297,7 @@ type Table5Row struct {
 // Table5 computes locality-restricted congruence for k = 1..4 over the
 // Stanford profile, with the paper's 512-byte window.
 func Table5(cfg Config) []Table5Row {
-	fs := corpus.StanfordU1().Scale(cfg.scale()).Build()
+	fs := cfg.build(corpus.StanfordU1())
 	var rows []Table5Row
 	for k := 1; k <= 4; k++ {
 		g, err := sim.CollectGlobal(cfg.ctx(), fs, k, cfg.collectOptions())

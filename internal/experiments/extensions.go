@@ -30,6 +30,7 @@ type EndToEndRow struct {
 // threat entirely, executed.
 func EndToEnd(cfg Config) []EndToEndRow {
 	p := corpus.SICSOpt().Scale(cfg.scale() * 0.3)
+	p.Seed ^= cfg.Seed
 	fs := p.Build()
 	opts := tcpip.BuildOptions{}
 	flow := tcpip.NewLoopbackFlow(opts)
@@ -62,7 +63,7 @@ func EndToEnd(cfg Config) []EndToEndRow {
 	} {
 		out = append(out, EndToEndRow{
 			Policy: pol.Name(),
-			Stats:  lossim.Run(packets, pol, opts, 0xE2E),
+			Stats:  lossim.Run(packets, pol, opts, 0xE2E^cfg.Seed),
 		})
 	}
 	return out
@@ -115,7 +116,7 @@ var adlerAlgos = []struct{ Label, Algo string }{
 // runs through the sharded collection engine with one sparse census per
 // algorithm per worker.
 func AdlerComparison(cfg Config) []AdlerRow {
-	fs := corpus.StanfordU1().Scale(cfg.scale()).Build()
+	fs := cfg.build(corpus.StanfordU1())
 	algos := make([]algo.Algorithm, len(adlerAlgos))
 	for i, s := range adlerAlgos {
 		algos[i] = algo.MustLookup(s.Algo)
@@ -180,6 +181,7 @@ type FragSwapRow struct {
 // cell splices.
 func FragSwap(cfg Config) []FragSwapRow {
 	p := corpus.SICSOpt().Scale(cfg.scale() * 0.5)
+	p.Seed ^= cfg.Seed
 	var out []FragSwapRow
 	for _, alg := range []tcpip.ChecksumAlg{tcpip.AlgTCP, tcpip.AlgFletcher256} {
 		opts := tcpip.BuildOptions{Alg: alg}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+
+	"realsum/internal/corpus"
+	"realsum/internal/netsim"
+)
+
+// NetSimData holds the §7 fault-injection results: the TCP/IPv4
+// pipeline over the full default channel battery, and the UDP +
+// IP-fragmentation pipeline over the corruption channels.
+type NetSimData struct {
+	TCP *netsim.Tally
+	UDP *netsim.Tally
+}
+
+// NetSim runs the Monte Carlo end-to-end pipeline over the Stanford /u1
+// profile — the corpus whose zero-run structure drives the paper's §7
+// claims about burst errors and the ones-complement sum.  Both passes
+// inherit the Config's root seed, worker count and progress plumbing;
+// output is byte-identical at any worker count.
+func NetSim(cfg Config) NetSimData {
+	// The UDP pass skips the drop channel: fragment loss just exercises
+	// ipfrag's gap rejection, which the accounting already covers, and
+	// the datagram-level story is about what corruption survives
+	// reassembly.
+	udpChannels, _ := netsim.ChannelsByName([]string{"bitflip", "burst", "reorder", "misinsert"})
+
+	scaled := func(f float64) *corpus.FS {
+		p := corpus.StanfordU1().Scale(cfg.scale() * f)
+		p.Seed ^= cfg.Seed
+		return p.Build()
+	}
+	tcp, err := netsim.Run(cfg.ctx(), scaled(0.25), netsim.Config{
+		Mode:     netsim.ModeTCP,
+		Seed:     cfg.Seed,
+		Workers:  cfg.Workers,
+		Progress: cfg.Progress,
+	})
+	if err != nil {
+		panic(err)
+	}
+	udp, err := netsim.Run(cfg.ctx(), scaled(0.1), netsim.Config{
+		Mode:     netsim.ModeUDPFrag,
+		Seed:     cfg.Seed,
+		Channels: udpChannels,
+		Workers:  cfg.Workers,
+		Progress: cfg.Progress,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return NetSimData{TCP: tcp, UDP: udp}
+}
+
+// NetSimReport renders both tallies.
+func NetSimReport(d NetSimData) string {
+	var b strings.Builder
+	b.WriteString("NetSim: Monte Carlo fault injection, §7 alternative error models\n")
+	b.WriteString(d.TCP.Report())
+	b.WriteByte('\n')
+	b.WriteString(d.UDP.Report())
+	return b.String()
+}

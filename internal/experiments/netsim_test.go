@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNetSimReportDeterministicAcrossWorkers extends the tentpole
+// worker-independence guarantee to the fault-injection pass: the
+// rendered netsim report is byte-identical at any worker count, and at
+// any root seed.
+func TestNetSimReportDeterministicAcrossWorkers(t *testing.T) {
+	for _, seed := range []uint64{0, 99} {
+		base := NetSimReport(NetSim(Config{Scale: 0.03, Workers: 1, Seed: seed}))
+		for _, w := range []int{2, 8} {
+			if got := NetSimReport(NetSim(Config{Scale: 0.03, Workers: w, Seed: seed})); got != base {
+				t.Errorf("seed %d: netsim output differs between 1 and %d workers", seed, w)
+			}
+		}
+	}
+}
+
+// TestNetSimShapeClaims pins the §7 acceptance claim at experiment
+// scale: under the solid-burst channel the TCP checksum is the weakest
+// registered algorithm and CRC-32 stays at its uniform (zero) rate.
+func TestNetSimShapeClaims(t *testing.T) {
+	d := NetSim(Config{Scale: 0.1, Workers: 4})
+	for _, s := range d.TCP.Shapes() {
+		if !strings.HasPrefix(s.Channel, "burst") {
+			continue
+		}
+		if s.Corrupted == 0 {
+			t.Fatal("burst channel corrupted nothing at scale 0.1")
+		}
+		if s.Weakest != "tcp" {
+			t.Errorf("weakest under bursts = %s (%d of %d), want tcp", s.Weakest, s.WeakestUndetect, s.Corrupted)
+		}
+		if s.CRC32Undetected != 0 {
+			t.Errorf("CRC-32 missed %d bursts, want 0", s.CRC32Undetected)
+		}
+	}
+	if !strings.Contains(NetSimReport(d), "shape[tcp/burst]") {
+		t.Error("NetSimReport missing shape lines")
+	}
+}
+
+// TestNetSimSeedChangesResults: the root seed must actually reach the
+// trial RNGs — different seeds, different fault patterns.
+func TestNetSimSeedChangesResults(t *testing.T) {
+	a := NetSimReport(NetSim(Config{Scale: 0.03, Workers: 2, Seed: 1}))
+	b := NetSimReport(NetSim(Config{Scale: 0.03, Workers: 2, Seed: 2}))
+	if a == b {
+		t.Error("netsim report identical under different root seeds")
+	}
+}

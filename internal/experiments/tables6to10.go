@@ -44,7 +44,7 @@ type Table6System struct {
 func Table6(cfg Config) []Table6System {
 	var out []Table6System
 	for _, p := range table6Systems() {
-		fs := p.Scale(cfg.scale()).Build()
+		fs := cfg.build(p)
 
 		single, err := sim.CollectGlobal(cfg.ctx(), fs, 1, cfg.collectOptions())
 		if err != nil {
@@ -53,7 +53,7 @@ func Table6(cfg Config) []Table6System {
 		p1 := dist.FromHistogram(single.Histogram())
 		pk := p1
 
-		res, err := sim.Run(cfg.ctx(), p.Scale(cfg.scale()).Build(), p.Name, cfg.simOptions(sim.Options{}))
+		res, err := sim.Run(cfg.ctx(), cfg.build(p), p.Name, cfg.simOptions(sim.Options{}))
 		if err != nil {
 			panic(err)
 		}
@@ -118,15 +118,15 @@ func Table6Report(systems []Table6System) string {
 // Table7 reproduces the compression experiment: the /opt system before
 // and after LZW compression.
 func Table7(cfg Config) (plain, compressed sim.Result) {
-	p := corpus.SICSOpt().Scale(cfg.scale())
+	p := corpus.SICSOpt()
 	opt := cfg.simOptions(sim.Options{CheckCRC: true})
 	var err error
-	plain, err = sim.Run(cfg.ctx(), p.Build(), p.Name, opt)
+	plain, err = sim.Run(cfg.ctx(), cfg.build(p), p.Name, opt)
 	if err != nil {
 		panic(err)
 	}
 	opt.Compress = true
-	compressed, err = sim.Run(cfg.ctx(), p.Build(), p.Name+" compressed", opt)
+	compressed, err = sim.Run(cfg.ctx(), cfg.build(p), p.Name+" compressed", opt)
 	if err != nil {
 		panic(err)
 	}
@@ -198,7 +198,7 @@ func runPacketAlgos(cfg Config, p corpus.Profile) []AlgResult {
 		if !ok {
 			panic(fmt.Sprintf("experiments: packet builder cannot carry %q", name))
 		}
-		res, err := sim.Run(cfg.ctx(), p.Scale(cfg.scale()).Build(), p.Name,
+		res, err := sim.Run(cfg.ctx(), cfg.build(p), p.Name,
 			cfg.simOptions(sim.Options{Build: tcpip.BuildOptions{Alg: alg}}))
 		if err != nil {
 			panic(err)
@@ -244,11 +244,11 @@ type Table9Row struct {
 func Table9(cfg Config) []Table9Row {
 	var out []Table9Row
 	for _, p := range table8Systems() {
-		hdr, err := sim.Run(cfg.ctx(), p.Scale(cfg.scale()).Build(), p.Name, cfg.simOptions(sim.Options{}))
+		hdr, err := sim.Run(cfg.ctx(), cfg.build(p), p.Name, cfg.simOptions(sim.Options{}))
 		if err != nil {
 			panic(err)
 		}
-		trl, err := sim.Run(cfg.ctx(), p.Scale(cfg.scale()).Build(), p.Name,
+		trl, err := sim.Run(cfg.ctx(), cfg.build(p), p.Name,
 			cfg.simOptions(sim.Options{Build: tcpip.BuildOptions{Placement: tcpip.PlacementTrailer}}))
 		if err != nil {
 			panic(err)
@@ -283,11 +283,11 @@ type Table10Data struct {
 // Table10 runs the 2×2 comparison.
 func Table10(cfg Config) Table10Data {
 	p := corpus.StanfordU1()
-	hdr, err := sim.Run(cfg.ctx(), p.Scale(cfg.scale()).Build(), p.Name, cfg.simOptions(sim.Options{}))
+	hdr, err := sim.Run(cfg.ctx(), cfg.build(p), p.Name, cfg.simOptions(sim.Options{}))
 	if err != nil {
 		panic(err)
 	}
-	trl, err := sim.Run(cfg.ctx(), p.Scale(cfg.scale()).Build(), p.Name,
+	trl, err := sim.Run(cfg.ctx(), cfg.build(p), p.Name,
 		cfg.simOptions(sim.Options{Build: tcpip.BuildOptions{Placement: tcpip.PlacementTrailer}}))
 	if err != nil {
 		panic(err)
@@ -373,16 +373,16 @@ type AblationData struct {
 // Ablations runs all three configurations on the same corpus.
 func Ablations(cfg Config) AblationData {
 	p := corpus.SICSOpt()
-	base, err := sim.Run(cfg.ctx(), p.Scale(cfg.scale()).Build(), p.Name, cfg.simOptions(sim.Options{}))
+	base, err := sim.Run(cfg.ctx(), cfg.build(p), p.Name, cfg.simOptions(sim.Options{}))
 	if err != nil {
 		panic(err)
 	}
-	zero, err := sim.Run(cfg.ctx(), p.Scale(cfg.scale()).Build(), p.Name,
+	zero, err := sim.Run(cfg.ctx(), cfg.build(p), p.Name,
 		cfg.simOptions(sim.Options{Build: tcpip.BuildOptions{ZeroIPHeader: true}}))
 	if err != nil {
 		panic(err)
 	}
-	noinv, err := sim.Run(cfg.ctx(), p.Scale(cfg.scale()).Build(), p.Name,
+	noinv, err := sim.Run(cfg.ctx(), cfg.build(p), p.Name,
 		cfg.simOptions(sim.Options{Build: tcpip.BuildOptions{NoInvert: true}}))
 	if err != nil {
 		panic(err)

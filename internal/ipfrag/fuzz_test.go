@@ -1,0 +1,124 @@
+package ipfrag
+
+import (
+	"bytes"
+	"testing"
+
+	"realsum/internal/tcpip"
+)
+
+// fuzzPacket wraps payload in a checksummed IPv4 header, the
+// precondition Fragment documents.
+func fuzzPacket(payload []byte) []byte {
+	pkt := make([]byte, tcpip.IPv4HeaderLen+len(payload))
+	h := tcpip.IPv4Header{
+		TotalLength: uint16(len(pkt)),
+		ID:          0x3A7,
+		TTL:         64,
+		Protocol:    tcpip.ProtocolUDP,
+		Src:         [4]byte{10, 0, 0, 1},
+		Dst:         [4]byte{10, 0, 0, 2},
+	}
+	h.ComputeChecksum()
+	h.SerializeTo(pkt)
+	copy(pkt[tcpip.IPv4HeaderLen:], payload)
+	return pkt
+}
+
+// FuzzReassemble checks the fragmentation round trip on arbitrary
+// payloads and MTUs, and that Reassemble never panics — and never
+// silently accepts a wrong packet — when the fragment set is mangled
+// the ways the netsim receiver path can mangle it: fragments reversed,
+// dropped, or with a flipped byte.  Run with `go test -fuzz
+// FuzzReassemble ./internal/ipfrag`; the seed corpus runs in normal
+// test mode.
+func FuzzReassemble(f *testing.F) {
+	f.Add([]byte{}, 28, uint16(0), byte(0))
+	f.Add([]byte{1, 2, 3}, 28, uint16(1), byte(0xFF))
+	f.Add(bytes.Repeat([]byte{0xA5}, 300), 68, uint16(40), byte(0x80))
+	f.Add(make([]byte, 2000), 576, uint16(500), byte(1))
+	f.Add(bytes.Repeat([]byte{0, 0xFF}, 750), 96, uint16(1499), byte(0x10))
+	f.Fuzz(func(t *testing.T, payload []byte, mtu int, manglePos uint16, mangleXor byte) {
+		if len(payload) > 60000 {
+			payload = payload[:60000]
+		}
+		// Clamp the MTU into Fragment's legal range; offsets must fit
+		// the 13-bit field, so keep payloads/MTUs consistent.
+		if mtu < tcpip.IPv4HeaderLen+8 {
+			mtu = tcpip.IPv4HeaderLen + 8
+		}
+		if mtu > 1500 {
+			mtu = 1500
+		}
+		pkt := fuzzPacket(payload)
+		frags, err := Fragment(pkt, mtu)
+		if err != nil {
+			t.Fatalf("Fragment(%d bytes, mtu %d): %v", len(pkt), mtu, err)
+		}
+
+		// Round trip, in order.
+		out, err := Reassemble(frags)
+		if err != nil {
+			t.Fatalf("Reassemble: %v", err)
+		}
+		if !bytes.Equal(out, pkt) {
+			t.Fatal("round trip mismatch")
+		}
+
+		// Order independence: reversed fragments reassemble identically.
+		rev := make([][]byte, len(frags))
+		for i := range frags {
+			rev[i] = frags[len(frags)-1-i]
+		}
+		out, err = Reassemble(rev)
+		if err != nil {
+			t.Fatalf("Reassemble(reversed): %v", err)
+		}
+		if !bytes.Equal(out, pkt) {
+			t.Fatal("reversed round trip mismatch")
+		}
+
+		// Dropping any single fragment must yield an error, never a
+		// silently short packet.
+		if len(frags) > 1 {
+			drop := int(manglePos) % len(frags)
+			rest := append(append([][]byte(nil), frags[:drop]...), frags[drop+1:]...)
+			if _, err := Reassemble(rest); err == nil {
+				t.Fatalf("Reassemble accepted a set missing fragment %d of %d", drop, len(frags))
+			}
+		}
+
+		// A flipped byte must not panic; if the mangled set is still
+		// accepted the flip was in a payload, so only that fragment's
+		// span may differ and the IPv4 invariants must still hold.
+		if mangleXor != 0 {
+			mangled := make([][]byte, len(frags))
+			for i, fr := range frags {
+				mangled[i] = append([]byte(nil), fr...)
+			}
+			fi := int(manglePos) % len(frags)
+			fb := int(manglePos) / len(frags) % len(mangled[fi])
+			mangled[fi][fb] ^= mangleXor
+			out, err := Reassemble(mangled)
+			if err != nil {
+				return // rejected; fine
+			}
+			if fb < tcpip.IPv4HeaderLen {
+				// Header flips that survive DecodeFromBytes + checksum
+				// verification are vanishingly rare but possible (e.g. a
+				// flip inside a field the checks don't bind, which the
+				// IPv4 header has none of — so reaching here means the
+				// checksum held by collision).  The packet must still
+				// parse coherently.
+				var h tcpip.IPv4Header
+				if err := h.DecodeFromBytes(out); err != nil {
+					t.Fatalf("accepted reassembly does not parse: %v", err)
+				}
+				return
+			}
+			if len(out) != len(pkt) {
+				t.Fatalf("payload flip changed reassembled length %d -> %d", len(pkt), len(out))
+			}
+		}
+	})
+}

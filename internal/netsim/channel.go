@@ -1,0 +1,203 @@
+package netsim
+
+import (
+	"math/rand/v2"
+
+	"realsum/internal/atm"
+	"realsum/internal/errmodel"
+	"realsum/internal/lossim"
+)
+
+// Stream is the cell train a channel transmits: the cells plus, for the
+// simulator's bookkeeping only, the index of the sending packet each
+// cell came from.  Channels that drop or duplicate cells must keep the
+// two slices parallel; channels that damage payloads leave Origin
+// alone.  The origin tags are how the receiver knows which sent PDU a
+// delivered trailer claims to terminate — the per-algorithm checksum of
+// that PDU is the notional check value the trailer carried.
+type Stream struct {
+	Cells  []atm.Cell
+	Origin []int32
+}
+
+// Channel is one fault process.  Transmit damages the stream in place,
+// deterministically for a given rng state.  A Channel may carry mutable
+// per-trial state (loss-policy latches, gather buffers), so each engine
+// shard instantiates its own channels via ChannelSpec.New.
+type Channel interface {
+	Name() string
+	Transmit(rng *rand.Rand, s *Stream)
+}
+
+// ChannelSpec names a channel and constructs per-shard instances of it.
+type ChannelSpec struct {
+	Name string
+	New  func() Channel
+}
+
+// DefaultChannels is the fault-model battery cmd/paper -netsim runs:
+// random cell drop (the splice-forming loss process), two-bit flips,
+// 32-bit solid bursts, cell payload reordering, and cell misinsertion.
+func DefaultChannels() []ChannelSpec {
+	return []ChannelSpec{
+		{Name: "drop", New: func() Channel {
+			return &DropChannel{Policy: lossim.RandomLoss{P: 0.01}}
+		}},
+		{Name: "bitflip", New: func() Channel {
+			return &CellCorrupt{Model: errmodel.BitFlips{K: 2}, PerCell: 0.05}
+		}},
+		{Name: "burst", New: func() Channel {
+			return &CellCorrupt{Model: errmodel.SolidBurst{Bits: 32}, PerCell: 0.05}
+		}},
+		{Name: "reorder", New: func() Channel {
+			return &CellShuffle{Model: errmodel.Reorder{Unit: atm.PayloadSize}, PerPacket: 0.5}
+		}},
+		{Name: "misinsert", New: func() Channel {
+			return &CellShuffle{Model: errmodel.Misinsert{Unit: atm.PayloadSize}, PerPacket: 0.5}
+		}},
+	}
+}
+
+// ChannelsByName filters DefaultChannels down to a comma-separated
+// subset, preserving battery order.  Unknown names are reported.
+func ChannelsByName(names []string) ([]ChannelSpec, []string) {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	var out []ChannelSpec
+	for _, spec := range DefaultChannels() {
+		if want[spec.Name] {
+			out = append(out, spec)
+			delete(want, spec.Name)
+		}
+	}
+	var unknown []string
+	for n := range want {
+		unknown = append(unknown, n)
+	}
+	return out, unknown
+}
+
+// DropChannel runs a lossim cell-loss policy over the stream: the
+// splice-forming fault, where surviving cells of adjacent packets
+// concatenate at the receiver.  Policy state resets at each packet
+// boundary (origin change), exactly as lossim.Run drives it.
+type DropChannel struct {
+	Policy lossim.Policy
+}
+
+// Name implements Channel.
+func (d *DropChannel) Name() string { return "drop:" + d.Policy.Name() }
+
+// Transmit implements Channel.  It filters cells in place.
+func (d *DropChannel) Transmit(rng *rand.Rand, s *Stream) {
+	out := s.Cells[:0]
+	oout := s.Origin[:0]
+	cur := int32(-1)
+	for i := range s.Cells {
+		if s.Origin[i] != cur {
+			cur = s.Origin[i]
+			d.Policy.StartPacket(rng)
+		}
+		if d.Policy.Drop(rng, s.Cells[i].Header.EndOfPacket()) {
+			continue
+		}
+		out = append(out, s.Cells[i])
+		oout = append(oout, s.Origin[i])
+	}
+	s.Cells = out
+	s.Origin = oout
+}
+
+// CellCorrupt damages individual cell payloads: each cell is hit with
+// probability PerCell, and a hit applies Model to the 48 payload bytes
+// in place (headers, and therefore framing, survive — the §7 model
+// where the medium corrupts data but delivery structure holds).
+type CellCorrupt struct {
+	Model   errmodel.InPlacer
+	PerCell float64
+}
+
+// Name implements Channel.
+func (c *CellCorrupt) Name() string { return "corrupt:" + c.Model.Name() }
+
+// Transmit implements Channel.
+func (c *CellCorrupt) Transmit(rng *rand.Rand, s *Stream) {
+	for i := range s.Cells {
+		if rng.Float64() < c.PerCell {
+			c.Model.CorruptInPlace(rng, s.Cells[i].Payload[:])
+		}
+	}
+}
+
+// CellShuffle applies a record-level errmodel (Reorder or Misinsert at
+// Unit = atm.PayloadSize) to the data cells of individual packets: each
+// packet is hit with probability PerPacket, and a hit gathers the
+// payloads of every cell but the trailer cell, corrupts the record
+// stream, and scatters it back.  The trailer cell is exempt so the
+// AAL5 framing fields stay put and the fault isolates what the
+// *checksum* can see: misordered or misinserted data at exact cell
+// positions — the fault class where positional checksums (Fletcher,
+// CRC) and the position-blind TCP sum separate most sharply.
+type CellShuffle struct {
+	Model     errmodel.InPlacer
+	PerPacket float64
+
+	scratch []byte
+}
+
+// Name implements Channel.
+func (c *CellShuffle) Name() string { return "shuffle:" + c.Model.Name() }
+
+// Transmit implements Channel.
+func (c *CellShuffle) Transmit(rng *rand.Rand, s *Stream) {
+	i := 0
+	for i < len(s.Cells) {
+		j := i
+		for j < len(s.Cells) && !s.Cells[j].Header.EndOfPacket() {
+			j++
+		}
+		if j >= len(s.Cells) {
+			return // stranded tail with no trailer; nothing to frame
+		}
+		// Packet cells are [i, j] with the trailer at j; data cells [i, j).
+		if rng.Float64() < c.PerPacket && j-i >= 2 {
+			c.scratch = c.scratch[:0]
+			for k := i; k < j; k++ {
+				c.scratch = append(c.scratch, s.Cells[k].Payload[:]...)
+			}
+			c.Model.CorruptInPlace(rng, c.scratch)
+			for k := i; k < j; k++ {
+				copy(s.Cells[k].Payload[:], c.scratch[(k-i)*atm.PayloadSize:])
+			}
+		}
+		i = j + 1
+	}
+}
+
+// splitmix64 is the SplitMix64 finalizer, the mixing step of the
+// per-trial seed chain.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	z := x
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// TrialSeed derives the RNG seed for one trial as a SplitMix64 chain
+// over (rootSeed, fileIdx, channelIdx, trialIdx).  Every trial's fault
+// pattern is therefore a pure function of corpus position — never of
+// worker scheduling — which is what makes reports byte-identical at
+// any -workers count.
+func TrialSeed(root uint64, file, channel, trial int) uint64 {
+	x := splitmix64(root ^ 0x6E7E7517)
+	x = splitmix64(x ^ uint64(file+1))
+	x = splitmix64(x ^ uint64(channel+1))
+	x = splitmix64(x ^ uint64(trial+1))
+	return x
+}

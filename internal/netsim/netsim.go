@@ -1,0 +1,495 @@
+// Package netsim is the Monte Carlo end-to-end fault-injection
+// pipeline: it encodes real corpus files as TCP/IPv4 (or UDP/IPv4 +
+// ipfrag fragmentation) packets carried in AAL5/ATM cells, pushes the
+// cell train through a pluggable fault channel — cell drop, bit flips,
+// solid bursts, cell misordering and misinsertion — and reassembles at
+// a receiver that scores every algorithm in the algo registry, counting
+// delivered/corrupted/detected/undetected outcomes per (algorithm ×
+// fault model).
+//
+// This is the trial-based complement of the exhaustive splice
+// enumeration (Tables 1–3): where enumeration is infeasible — §7's
+// alternative error models — undetected-error probability is measured
+// by injection, the standard methodology of the CRC-evaluation
+// literature.  The scoring convention: each AAL5 PDU notionally carries
+// every algorithm's checksum of its sent bytes; a delivered candidate
+// (the cells up to a delivered end-of-packet cell) claims the identity
+// of its trailer cell's sending packet, and an algorithm misses when
+// its checksum of the received bytes equals its checksum of that sent
+// PDU even though the bytes differ.
+//
+// Determinism contract: trials run on the sim.Collect shard engine with
+// per-trial seeds derived by TrialSeed from (rootSeed, fileIdx,
+// channelIdx, trialIdx) only, and the Tally holds nothing but
+// commutatively-merged counters, so reports are byte-identical at any
+// worker count.  The per-trial hot path (ModeTCP) performs no
+// steady-state allocations; ModeUDPFrag allocates in the
+// ipfrag.Reassemble stage only.
+package netsim
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand/v2"
+
+	"realsum/internal/algo"
+	"realsum/internal/atm"
+	"realsum/internal/corpus"
+	"realsum/internal/crc"
+	"realsum/internal/ipfrag"
+	"realsum/internal/sim"
+	"realsum/internal/tcpip"
+)
+
+// Mode selects the transport encoding of corpus bytes.
+type Mode int
+
+const (
+	// ModeTCP carries each corpus chunk as one TCP/IPv4 packet per AAL5
+	// PDU — the paper's §3.2 FTP-transfer framing.
+	ModeTCP Mode = iota
+	// ModeUDPFrag carries larger chunks as UDP/IPv4 datagrams split by
+	// ipfrag.Fragment; each IP fragment rides in its own AAL5 PDU and
+	// the receiver reassembles the surviving fragments.
+	ModeUDPFrag
+)
+
+func (m Mode) String() string {
+	if m == ModeUDPFrag {
+		return "udpfrag"
+	}
+	return "tcp"
+}
+
+// Config parameterizes a netsim run.  The zero value runs ModeTCP with
+// the default channel battery, 256-byte segments and 6 trials per
+// (file × channel).
+type Config struct {
+	// Mode is the transport encoding.
+	Mode Mode
+	// SegmentSize is the TCP payload per packet in ModeTCP (default 256,
+	// the paper's segment size).
+	SegmentSize int
+	// DatagramSize is the UDP payload per datagram in ModeUDPFrag
+	// (default 1024).
+	DatagramSize int
+	// MTU is the fragmentation MTU in ModeUDPFrag (default 280: 256
+	// payload bytes per fragment).
+	MTU int
+	// Trials is the trial count per (file × channel) (default 6).
+	Trials int
+	// Seed is the root seed every per-trial seed derives from.
+	Seed uint64
+	// Channels is the fault battery (default DefaultChannels).
+	Channels []ChannelSpec
+	// Algorithms lists the scored algorithms (default algo.All()).
+	Algorithms []algo.Algorithm
+	// Workers bounds parallelism across files (default GOMAXPROCS).
+	Workers int
+	// Progress, when non-nil, receives per-file throughput updates.
+	Progress *sim.Progress
+}
+
+func (c Config) segmentSize() int {
+	if c.SegmentSize <= 0 {
+		return sim.DefaultSegmentSize
+	}
+	return c.SegmentSize
+}
+
+func (c Config) datagramSize() int {
+	if c.DatagramSize <= 0 {
+		return 1024
+	}
+	return c.DatagramSize
+}
+
+func (c Config) mtu() int {
+	if c.MTU <= 0 {
+		return 280
+	}
+	return c.MTU
+}
+
+func (c Config) trials() int {
+	if c.Trials <= 0 {
+		return 6
+	}
+	return c.Trials
+}
+
+func (c Config) channels() []ChannelSpec {
+	if len(c.Channels) == 0 {
+		return DefaultChannels()
+	}
+	return c.Channels
+}
+
+func (c Config) algorithms() []algo.Algorithm {
+	if len(c.Algorithms) == 0 {
+		return algo.All()
+	}
+	return c.Algorithms
+}
+
+func (c Config) buildOptions() tcpip.BuildOptions { return tcpip.BuildOptions{} }
+
+// fragRef queues one AAL5-accepted IP fragment for datagram reassembly:
+// the datagram it belongs to and its bytes' span in the fragment arena.
+type fragRef struct{ dg, off, n int }
+
+// worker is one engine shard: the per-file sender state, the per-trial
+// scratch buffers, and this shard's tally.  Every slice is reused
+// across files and trials, so the steady-state trial loop allocates
+// nothing (ModeTCP).
+type worker struct {
+	cfg   Config
+	algos []algo.Algorithm
+	chans []Channel
+	tally *Tally
+	aal5  *crc.Table
+
+	// Sender state for the current file.
+	pduArena []byte // concatenated sent PDUs (cell payloads incl. padding + trailer)
+	pduOff   []int  // PDU k spans pduArena[pduOff[k]:pduOff[k+1]]
+	pktLen   []int  // transported packet length within PDU k
+	cells    []atm.Cell
+	origin   []int32
+	dgArena  []byte // ModeUDPFrag: original unfragmented IP packets
+	dgOff    []int
+	fragDG   []int // PDU index -> datagram index
+	sums     []uint64
+	pktBuf   []byte
+
+	// Per-trial scratch.
+	work      Stream
+	pdu       []byte
+	delivered []bool
+	fragArena []byte
+	fragRefs  []fragRef
+	frags     [][]byte
+	pcg       *rand.PCG
+	rng       *rand.Rand
+}
+
+func newWorker(cfg Config) *worker {
+	specs := cfg.channels()
+	chans := make([]Channel, len(specs))
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		chans[i] = s.New()
+		names[i] = s.Name
+	}
+	algos := cfg.algorithms()
+	algoNames := make([]string, len(algos))
+	for i, a := range algos {
+		algoNames[i] = a.Name()
+	}
+	pcg := rand.NewPCG(0, 0)
+	return &worker{
+		cfg:   cfg,
+		algos: algos,
+		chans: chans,
+		tally: newTally(cfg.Mode.String(), names, algoNames),
+		aal5:  crc.New(crc.CRC32),
+		pcg:   pcg,
+		rng:   rand.New(pcg),
+	}
+}
+
+// file runs every (channel × trial) combination over one corpus file.
+func (w *worker) file(idx int, data []byte) {
+	w.reset()
+	switch w.cfg.Mode {
+	case ModeUDPFrag:
+		w.buildUDP(data)
+	default:
+		w.buildTCP(data)
+	}
+	w.computeSums()
+	trials := w.cfg.trials()
+	for c := range w.chans {
+		for t := 0; t < trials; t++ {
+			w.trial(idx, c, t)
+		}
+	}
+}
+
+func (w *worker) reset() {
+	w.pduArena = w.pduArena[:0]
+	w.pduOff = append(w.pduOff[:0], 0)
+	w.pktLen = w.pktLen[:0]
+	w.cells = w.cells[:0]
+	w.origin = w.origin[:0]
+	w.dgArena = w.dgArena[:0]
+	w.dgOff = append(w.dgOff[:0], 0)
+	w.fragDG = w.fragDG[:0]
+	w.sums = w.sums[:0]
+}
+
+// addPDU segments one transported packet into AAL5 cells and records
+// its sent PDU (the exact cell payload bytes, padding and trailer
+// included — the unit every algorithm is scored over).
+func (w *worker) addPDU(pkt []byte) {
+	base := len(w.cells)
+	cells, err := atm.AppendSegment(w.cells, pkt, 0, 32)
+	if err != nil {
+		panic(fmt.Sprintf("netsim: segmenting %d-byte packet: %v", len(pkt), err))
+	}
+	w.cells = cells
+	k := int32(len(w.pduOff) - 1)
+	for i := base; i < len(w.cells); i++ {
+		w.origin = append(w.origin, k)
+		w.pduArena = append(w.pduArena, w.cells[i].Payload[:]...)
+	}
+	w.pduOff = append(w.pduOff, len(w.pduArena))
+	w.pktLen = append(w.pktLen, len(pkt))
+}
+
+// buildTCP packetizes the file as the paper's loopback FTP transfer:
+// successive 256-byte TCP/IPv4 segments, one AAL5 PDU each.
+func (w *worker) buildTCP(data []byte) {
+	flow := tcpip.NewLoopbackFlow(w.cfg.buildOptions())
+	seg := w.cfg.segmentSize()
+	for off := 0; ; off += seg {
+		end := off + seg
+		if end > len(data) {
+			end = len(data)
+		}
+		w.pktBuf = flow.NextPacket(w.pktBuf[:0], data[off:end])
+		w.addPDU(w.pktBuf)
+		if end >= len(data) {
+			break
+		}
+	}
+}
+
+// netsim's UDP endpoints; any fixed addresses work, they only feed the
+// pseudo-header.
+var udpSrc = [4]byte{10, 0, 0, 1}
+var udpDst = [4]byte{10, 0, 0, 2}
+
+// buildUDP packetizes the file as UDP/IPv4 datagrams, fragments each at
+// the configured MTU, and sends every fragment as its own AAL5 PDU.
+func (w *worker) buildUDP(data []byte) {
+	seg := w.cfg.datagramSize()
+	id := uint16(1)
+	for off := 0; ; off += seg {
+		end := off + seg
+		if end > len(data) {
+			end = len(data)
+		}
+		dgram := tcpip.BuildUDPDatagram(udpSrc, udpDst, 4040, 4041, data[off:end])
+		total := tcpip.IPv4HeaderLen + len(dgram)
+		w.pktBuf = w.pktBuf[:0]
+		for i := 0; i < total; i++ {
+			w.pktBuf = append(w.pktBuf, 0)
+		}
+		h := tcpip.IPv4Header{
+			TotalLength: uint16(total),
+			ID:          id,
+			TTL:         64,
+			Protocol:    tcpip.ProtocolUDP,
+			Src:         udpSrc,
+			Dst:         udpDst,
+		}
+		h.ComputeChecksum()
+		h.SerializeTo(w.pktBuf)
+		copy(w.pktBuf[tcpip.IPv4HeaderLen:], dgram)
+
+		dgIdx := len(w.dgOff) - 1
+		w.dgArena = append(w.dgArena, w.pktBuf...)
+		w.dgOff = append(w.dgOff, len(w.dgArena))
+
+		frags, err := ipfrag.Fragment(w.pktBuf, w.cfg.mtu())
+		if err != nil {
+			panic(fmt.Sprintf("netsim: fragmenting %d-byte packet at MTU %d: %v", total, w.cfg.mtu(), err))
+		}
+		for _, f := range frags {
+			w.addPDU(f)
+			w.fragDG = append(w.fragDG, dgIdx)
+		}
+		id++
+		if end >= len(data) {
+			break
+		}
+	}
+}
+
+// computeSums precomputes every algorithm's checksum of every sent PDU
+// — the notional carried check values — once per file, so trials only
+// checksum the received side.
+func (w *worker) computeSums() {
+	for k := 0; k+1 < len(w.pduOff); k++ {
+		pdu := w.pduArena[w.pduOff[k]:w.pduOff[k+1]]
+		for _, a := range w.algos {
+			w.sums = append(w.sums, a.Sum(pdu))
+		}
+	}
+}
+
+// trial pushes the file's cell train through one channel once and
+// scores what the receiver got.
+func (w *worker) trial(fileIdx, chanIdx, trial int) {
+	ct := &w.tally.Channels[chanIdx]
+	w.pcg.Seed(TrialSeed(w.cfg.Seed, fileIdx, chanIdx, trial), 0xAA15)
+
+	w.work.Cells = append(w.work.Cells[:0], w.cells...)
+	w.work.Origin = append(w.work.Origin[:0], w.origin...)
+	w.chans[chanIdx].Transmit(w.rng, &w.work)
+
+	nPkts := len(w.pduOff) - 1
+	ct.Trials++
+	ct.PacketsSent += uint64(nPkts)
+	ct.CellsSent += uint64(len(w.cells))
+	ct.CellsDelivered += uint64(len(w.work.Cells))
+	ct.Bytes += uint64(len(w.pduArena))
+
+	w.delivered = w.delivered[:0]
+	for i := 0; i < nPkts; i++ {
+		w.delivered = append(w.delivered, false)
+	}
+	w.fragArena = w.fragArena[:0]
+	w.fragRefs = w.fragRefs[:0]
+
+	w.pdu = w.pdu[:0]
+	start := 0
+	for i := range w.work.Cells {
+		w.pdu = append(w.pdu, w.work.Cells[i].Payload[:]...)
+		if !w.work.Cells[i].Header.EndOfPacket() {
+			continue
+		}
+		w.score(ct, int(w.work.Origin[i]), w.work.Cells[start:i+1])
+		w.pdu = w.pdu[:0]
+		start = i + 1
+	}
+	for _, d := range w.delivered {
+		if !d {
+			ct.Lost++
+		}
+	}
+	if w.cfg.Mode == ModeUDPFrag {
+		w.reassembleDatagrams(ct)
+	}
+}
+
+// score classifies one delivered candidate (the cells up to a delivered
+// trailer) against the sent PDU its trailer claims, and asks every
+// algorithm whether it would have caught the difference.
+func (w *worker) score(ct *ChannelTally, origin int, cells []atm.Cell) {
+	ct.PDUsDelivered++
+	w.delivered[origin] = true
+	sent := w.pduArena[w.pduOff[origin]:w.pduOff[origin+1]]
+	corrupted := !bytes.Equal(w.pdu, sent)
+	if !corrupted {
+		ct.Intact++
+	} else {
+		ct.Corrupted++
+		base := origin * len(w.algos)
+		for a, alg := range w.algos {
+			if alg.Sum(w.pdu) == w.sums[base+a] {
+				ct.Algos[a].Undetected++
+			} else {
+				ct.Algos[a].Detected++
+			}
+		}
+	}
+	w.pipeline(ct, origin, cells, corrupted)
+}
+
+// pipeline runs the structural receiver battery a real endpoint
+// applies: AAL5 framing and CRC-32, then either the TCP/IP header and
+// checksum checks (ModeTCP) or fragment queueing for IP reassembly
+// (ModeUDPFrag).  Candidates contain no interior end-of-packet cell by
+// construction, so the framing checks reduce to the trailer's length
+// consistency.
+func (w *worker) pipeline(ct *ChannelTally, origin int, cells []atm.Cell, corrupted bool) {
+	p := &ct.Pipeline
+	pdu := w.pdu
+	if len(pdu) < atm.TrailerSize {
+		p.Framing++
+		return
+	}
+	tr := atm.DecodeTrailer(pdu[len(pdu)-atm.TrailerSize:])
+	if atm.CellCount(int(tr.Length)) != len(cells) {
+		p.Framing++
+		return
+	}
+	if uint32(w.aal5.Checksum(pdu[:len(pdu)-4])) != tr.CRC {
+		p.CRC++
+		return
+	}
+	sdu := pdu[:tr.Length]
+	if w.cfg.Mode == ModeUDPFrag {
+		p.FragDelivered++
+		off := len(w.fragArena)
+		w.fragArena = append(w.fragArena, sdu...)
+		w.fragRefs = append(w.fragRefs, fragRef{dg: w.fragDG[origin], off: off, n: len(sdu)})
+		return
+	}
+	if tcpip.ValidateHeaders(sdu, w.cfg.buildOptions()) != nil {
+		p.Header++
+		return
+	}
+	if !tcpip.VerifyPacket(sdu, w.cfg.buildOptions()) {
+		p.Checksum++
+		return
+	}
+	sentPkt := w.pduArena[w.pduOff[origin] : w.pduOff[origin]+w.pktLen[origin]]
+	if bytes.Equal(sdu, sentPkt) {
+		p.Accepted++
+	} else {
+		p.AcceptedCorrupt++
+	}
+}
+
+// reassembleDatagrams feeds the AAL5-accepted fragments of each
+// datagram through ipfrag.Reassemble and the UDP checksum — the
+// end-to-end receiver of ModeUDPFrag.  ipfrag builds the reassembled
+// packet afresh, so this stage (alone) allocates.
+func (w *worker) reassembleDatagrams(ct *ChannelTally) {
+	p := &ct.Pipeline
+	for d := 0; d+1 < len(w.dgOff); d++ {
+		w.frags = w.frags[:0]
+		for _, fr := range w.fragRefs {
+			if fr.dg == d {
+				w.frags = append(w.frags, w.fragArena[fr.off:fr.off+fr.n])
+			}
+		}
+		if len(w.frags) == 0 {
+			p.DatagramsLost++
+			continue
+		}
+		out, err := ipfrag.Reassemble(w.frags)
+		if err != nil {
+			p.FragReject++
+			continue
+		}
+		sent := w.dgArena[w.dgOff[d]:w.dgOff[d+1]]
+		if bytes.Equal(out, sent) {
+			p.DatagramsIntact++
+			continue
+		}
+		var h tcpip.IPv4Header
+		if h.DecodeFromBytes(out) != nil || len(out) < tcpip.IPv4HeaderLen+tcpip.UDPHeaderLen ||
+			!tcpip.VerifyUDP(h.Src, h.Dst, out[tcpip.IPv4HeaderLen:]) {
+			p.UDPCaught++
+		} else {
+			p.UDPUndetected++
+		}
+	}
+}
+
+// Run executes the full pipeline over every file w yields, on the
+// sim.Collect shard engine: each worker owns a private tally, merged
+// commutatively after the drain.  The returned Tally is byte-identical
+// (through Report) at any worker count.
+func Run(ctx context.Context, w corpus.Walker, cfg Config) (*Tally, error) {
+	ws, err := sim.Collect(ctx, w, sim.CollectOptions{Workers: cfg.Workers, Progress: cfg.Progress},
+		func() *worker { return newWorker(cfg) },
+		func(sh *worker, idx int, data []byte) { sh.file(idx, data) },
+		func(dst, src *worker) { dst.tally.Merge(src.tally) },
+	)
+	return ws.tally, err
+}

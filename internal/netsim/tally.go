@@ -1,0 +1,245 @@
+package netsim
+
+import (
+	"fmt"
+	"strings"
+
+	"realsum/internal/report"
+)
+
+// AlgoTally counts one algorithm's verdicts over the corrupted PDUs one
+// channel delivered.  Detected + Undetected always equals the channel's
+// Corrupted count.
+type AlgoTally struct {
+	Name       string
+	Detected   uint64
+	Undetected uint64
+}
+
+// MissRate is Undetected over all corrupted deliveries scored.
+func (a AlgoTally) MissRate() float64 {
+	if a.Detected+a.Undetected == 0 {
+		return 0
+	}
+	return float64(a.Undetected) / float64(a.Detected+a.Undetected)
+}
+
+// PipelineTally counts the structural receiver outcomes — the layered
+// checks a real AAL5/IP endpoint applies, run alongside the
+// per-algorithm scoring.
+type PipelineTally struct {
+	// ModeTCP path: candidate PDUs by the first check that rejected
+	// them, or accepted (split by whether the accepted SDU was intact).
+	Accepted        uint64
+	AcceptedCorrupt uint64
+	Framing         uint64
+	CRC             uint64
+	Header          uint64
+	Checksum        uint64
+
+	// ModeUDPFrag path: per-datagram reassembly outcomes.
+	FragDelivered   uint64
+	DatagramsIntact uint64
+	DatagramsLost   uint64
+	FragReject      uint64
+	UDPCaught       uint64
+	UDPUndetected   uint64
+}
+
+func (p *PipelineTally) merge(o *PipelineTally) {
+	p.Accepted += o.Accepted
+	p.AcceptedCorrupt += o.AcceptedCorrupt
+	p.Framing += o.Framing
+	p.CRC += o.CRC
+	p.Header += o.Header
+	p.Checksum += o.Checksum
+	p.FragDelivered += o.FragDelivered
+	p.DatagramsIntact += o.DatagramsIntact
+	p.DatagramsLost += o.DatagramsLost
+	p.FragReject += o.FragReject
+	p.UDPCaught += o.UDPCaught
+	p.UDPUndetected += o.UDPUndetected
+}
+
+// ChannelTally aggregates every trial of one fault channel.
+type ChannelTally struct {
+	Name string
+
+	Trials         uint64
+	PacketsSent    uint64
+	CellsSent      uint64
+	CellsDelivered uint64
+	Bytes          uint64 // sent PDU bytes pushed through the channel
+
+	PDUsDelivered uint64 // candidates ending in a delivered trailer cell
+	Intact        uint64 // delivered byte-identical to the claimed PDU
+	Corrupted     uint64 // delivered differing from the claimed PDU
+	Lost          uint64 // packets whose trailer never arrived
+
+	Algos    []AlgoTally
+	Pipeline PipelineTally
+}
+
+func (c *ChannelTally) merge(o *ChannelTally) {
+	c.Trials += o.Trials
+	c.PacketsSent += o.PacketsSent
+	c.CellsSent += o.CellsSent
+	c.CellsDelivered += o.CellsDelivered
+	c.Bytes += o.Bytes
+	c.PDUsDelivered += o.PDUsDelivered
+	c.Intact += o.Intact
+	c.Corrupted += o.Corrupted
+	c.Lost += o.Lost
+	for i := range c.Algos {
+		c.Algos[i].Detected += o.Algos[i].Detected
+		c.Algos[i].Undetected += o.Algos[i].Undetected
+	}
+	c.Pipeline.merge(&o.Pipeline)
+}
+
+// Tally is the merged result of a netsim run: per (channel × algorithm)
+// outcome counts.  Every field is an order-independent counter, so
+// Merge is commutative and the engine's sharded accumulation yields the
+// same Tally at any worker count.
+type Tally struct {
+	Mode     string
+	Channels []ChannelTally
+}
+
+// newTally builds an empty tally shaped for the channel and algorithm
+// name lists.
+func newTally(mode string, channels, algos []string) *Tally {
+	t := &Tally{Mode: mode, Channels: make([]ChannelTally, len(channels))}
+	for i, cn := range channels {
+		t.Channels[i].Name = cn
+		t.Channels[i].Algos = make([]AlgoTally, len(algos))
+		for a, an := range algos {
+			t.Channels[i].Algos[a].Name = an
+		}
+	}
+	return t
+}
+
+// Merge folds another shard's counts into t.  Shapes must match (same
+// engine configuration); Merge panics otherwise, because a silent
+// mismatch would corrupt every downstream report.
+func (t *Tally) Merge(o *Tally) {
+	if len(t.Channels) != len(o.Channels) {
+		panic(fmt.Sprintf("netsim: merging tallies with %d vs %d channels", len(t.Channels), len(o.Channels)))
+	}
+	for i := range t.Channels {
+		t.Channels[i].merge(&o.Channels[i])
+	}
+}
+
+// Channel returns the tally for the named channel.
+func (t *Tally) Channel(name string) (*ChannelTally, bool) {
+	for i := range t.Channels {
+		if t.Channels[i].Name == name {
+			return &t.Channels[i], true
+		}
+	}
+	return nil, false
+}
+
+// Shape is one channel's §7 ranking summary: which algorithm missed the
+// most corrupted deliveries.
+type Shape struct {
+	Channel         string
+	Corrupted       uint64
+	Weakest         string
+	WeakestUndetect uint64
+	CRC32Undetected uint64
+	TCPUndetected   uint64
+}
+
+// Shapes computes the per-channel ranking claims the paper's §7 makes
+// and cmd/paper -netsim asserts: under data-shaped faults the TCP
+// checksum is the weakest registered algorithm while CRC-32 stays at
+// its uniform (≈0) rate.
+func (t *Tally) Shapes() []Shape {
+	out := make([]Shape, 0, len(t.Channels))
+	for i := range t.Channels {
+		c := &t.Channels[i]
+		s := Shape{Channel: c.Name, Corrupted: c.Corrupted}
+		for _, a := range c.Algos {
+			if s.Weakest == "" || a.Undetected > s.WeakestUndetect {
+				s.Weakest, s.WeakestUndetect = a.Name, a.Undetected
+			}
+			switch a.Name {
+			case "crc32":
+				s.CRC32Undetected = a.Undetected
+			case "tcp":
+				s.TCPUndetected = a.Undetected
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Report renders the tally: a channel summary table, a per-algorithm
+// miss table per channel, and the shape-claim lines the tests pin.
+func (t *Tally) Report() string {
+	var b strings.Builder
+
+	sum := report.Table{
+		Title: fmt.Sprintf("netsim %s: channel outcomes", t.Mode),
+		Headers: []string{"channel", "trials", "pkts", "cells", "delivered",
+			"PDUs", "intact", "corrupted", "lost"},
+	}
+	for i := range t.Channels {
+		c := &t.Channels[i]
+		sum.AddRow(c.Name, report.Count(c.Trials), report.Count(c.PacketsSent),
+			report.Count(c.CellsSent), report.Count(c.CellsDelivered),
+			report.Count(c.PDUsDelivered), report.Count(c.Intact),
+			report.Count(c.Corrupted), report.Count(c.Lost))
+	}
+	b.WriteString(sum.Render())
+	b.WriteByte('\n')
+
+	for i := range t.Channels {
+		c := &t.Channels[i]
+		at := report.Table{
+			Title:   fmt.Sprintf("netsim %s · %s: undetected corruptions per algorithm (%s corrupted PDUs)", t.Mode, c.Name, report.Count(c.Corrupted)),
+			Headers: []string{"algorithm", "detected", "undetected", "miss rate"},
+		}
+		for _, a := range c.Algos {
+			at.AddRow(a.Name, report.Count(a.Detected), report.Count(a.Undetected), report.Percent(a.MissRate()))
+		}
+		b.WriteString(at.Render())
+		b.WriteByte('\n')
+	}
+
+	b.WriteString(t.pipelineReport())
+	for _, s := range t.Shapes() {
+		fmt.Fprintf(&b, "shape[%s/%s]: corrupted=%d weakest=%s(%d) tcp=%d crc32=%d\n",
+			t.Mode, s.Channel, s.Corrupted, s.Weakest, s.WeakestUndetect, s.TCPUndetected, s.CRC32Undetected)
+	}
+	return b.String()
+}
+
+// pipelineReport renders the structural receiver outcomes for the
+// tally's mode.
+func (t *Tally) pipelineReport() string {
+	p := report.Table{}
+	if t.Mode == ModeUDPFrag.String() {
+		p.Title = "netsim udpfrag: ipfrag reassembly outcomes per channel"
+		p.Headers = []string{"channel", "frags", "dg intact", "dg lost", "frag reject", "UDP caught", "UDP undetected"}
+		for i := range t.Channels {
+			c := &t.Channels[i].Pipeline
+			p.AddRow(t.Channels[i].Name, report.Count(c.FragDelivered),
+				report.Count(c.DatagramsIntact), report.Count(c.DatagramsLost),
+				report.Count(c.FragReject), report.Count(c.UDPCaught), report.Count(c.UDPUndetected))
+		}
+	} else {
+		p.Title = "netsim tcp: layered receiver outcomes per channel (first check that fired)"
+		p.Headers = []string{"channel", "accepted", "accepted-corrupt", "framing", "AAL5 CRC", "header", "checksum"}
+		for i := range t.Channels {
+			c := &t.Channels[i].Pipeline
+			p.AddRow(t.Channels[i].Name, report.Count(c.Accepted), report.Count(c.AcceptedCorrupt),
+				report.Count(c.Framing), report.Count(c.CRC), report.Count(c.Header), report.Count(c.Checksum))
+		}
+	}
+	return p.Render() + "\n"
+}

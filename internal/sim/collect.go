@@ -47,6 +47,10 @@ func (p *Progress) Bytes() uint64 {
 type CollectOptions struct {
 	// Workers bounds parallelism across files (default GOMAXPROCS).
 	Workers int
+	// Seed perturbs the per-file RNG seeding of randomized passes
+	// (CollectLocalAnyCells).  Zero preserves the historical seeding, so
+	// existing goldens are unchanged by default.
+	Seed uint64
 	// Progress, when non-nil, receives per-file throughput updates.
 	Progress *Progress
 }
@@ -175,7 +179,7 @@ func CollectLocalAnyCells(ctx context.Context, w corpus.Walker, k, window, perWi
 	s, err := Collect(ctx, w, opt,
 		func() *dist.AnyCellsSampler { return dist.NewAnyCellsSampler(k, window, perWindow) },
 		func(s *dist.AnyCellsSampler, idx int, data []byte) {
-			s.File(data, 0xA11CE115^uint64(idx))
+			s.File(data, 0xA11CE115^opt.Seed^uint64(idx))
 		},
 		func(dst, src *dist.AnyCellsSampler) { dst.MergeStats(src) },
 	)

@@ -14,18 +14,25 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (sim, splice) =="
-go test -race ./internal/sim/... ./internal/splice/...
+echo "== go test -race (sim, splice, netsim) =="
+go test -race ./internal/sim/... ./internal/splice/... ./internal/netsim/...
 
 echo "== go test -race (workers determinism) =="
-go test -race -run 'Deterministic' ./internal/sim/... ./internal/experiments/...
+go test -race -run 'Deterministic' ./internal/sim/... ./internal/experiments/... ./internal/netsim/...
 
-echo "== bench smoke (splice + dist, scale 0.02) =="
+echo "== netsim smoke (workers 1 vs 4 determinism under -race) =="
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
+go run -race ./cmd/paper -netsim -scale 0.02 -workers 1 > "$tmp/netsim.w1"
+go run -race ./cmd/paper -netsim -scale 0.02 -workers 4 > "$tmp/netsim.w4"
+diff "$tmp/netsim.w1" "$tmp/netsim.w4" || { echo "netsim output differs across worker counts"; exit 1; }
+test -s "$tmp/netsim.w1" || { echo "empty netsim report"; exit 1; }
+
+echo "== bench smoke (splice + dist + netsim, scale 0.02) =="
 go run ./cmd/paper -benchjson "$tmp/BENCH_splice.json" -scale 0.02 -benchiters 1
 go run ./cmd/paper -benchdistjson "$tmp/BENCH_dist.json" -scale 0.02 -benchiters 1
-for f in BENCH_splice.json BENCH_dist.json; do
+go run ./cmd/paper -benchnetsimjson "$tmp/BENCH_netsim.json" -scale 0.02 -benchiters 1
+for f in BENCH_splice.json BENCH_dist.json BENCH_netsim.json; do
     test -s "$tmp/$f" || { echo "missing $f"; exit 1; }
 done
 
