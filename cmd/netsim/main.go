@@ -7,11 +7,15 @@
 // Usage:
 //
 //	netsim [-profile "smeg.stanford.edu:/u1"] [-scale 1.0] [-dir PATH]
-//	       [-mode tcp|udpfrag] [-channels drop,bitflip,burst,reorder,misinsert]
+//	       [-mode tcp|udpfrag]
+//	       [-channels drop,drop-ge,drop-burst,bitflip,burst,reorder,misinsert,dup]
 //	       [-trials 6] [-seed 0] [-workers N]
 //
 // -dir scores a real directory tree instead of a synthetic profile.
-// Output is byte-identical at any -workers count.
+// The three drop channels run at a matched 1% average cell-loss rate —
+// i.i.d., Gilbert–Elliott, and geometric burst-of-cells — so the report
+// contrasts correlated against independent loss directly.  Output is
+// byte-identical at any -workers count.
 package main
 
 import (
@@ -27,11 +31,12 @@ import (
 )
 
 func main() {
+	valid := strings.Join(netsim.ChannelNames(), ",")
 	profile := flag.String("profile", "smeg.stanford.edu:/u1", "synthetic corpus profile (see cmd/corpus -list for names)")
 	scale := flag.Float64("scale", 1.0, "corpus scale factor")
 	dir := flag.String("dir", "", "score a real directory tree instead of a synthetic profile")
 	mode := flag.String("mode", "tcp", "transport encoding: tcp (one packet per PDU) or udpfrag (UDP datagrams + IP fragmentation)")
-	channels := flag.String("channels", "", "comma-separated fault channels (default: all of drop,bitflip,burst,reorder,misinsert)")
+	channels := flag.String("channels", "", "comma-separated fault channels (default: all of "+valid+")")
 	trials := flag.Int("trials", 0, "trials per (file × channel) (default 6)")
 	seed := flag.Uint64("seed", 0, "root seed; every trial's fault pattern derives from it")
 	workers := flag.Int("workers", 0, "parallel workers (default GOMAXPROCS; output is identical at any count)")
@@ -53,7 +58,7 @@ func main() {
 	if *channels != "" {
 		specs, unknown := netsim.ChannelsByName(strings.Split(*channels, ","))
 		if len(unknown) > 0 {
-			fmt.Fprintf(os.Stderr, "netsim: unknown channels %v (want a subset of drop,bitflip,burst,reorder,misinsert)\n", unknown)
+			fmt.Fprintf(os.Stderr, "netsim: unknown channels %v (want a subset of %s)\n", unknown, valid)
 			os.Exit(2)
 		}
 		cfg.Channels = specs

@@ -27,6 +27,10 @@ type benchNetsimRecord struct {
 	MBPerS         float64 `json:"mb_per_s"`
 	AllocsPerTrial float64 `json:"allocs_per_trial"`
 	Speedup        float64 `json:"speedup_vs_1worker"`
+	// CellLossRate is the measured fraction of cells the channel
+	// removed — ≈0.01 for the three matched drop channels, 0 for the
+	// payload-damage channels, negative for duplication (cells added).
+	CellLossRate float64 `json:"cell_loss_rate"`
 }
 
 // runBenchNetsimJSON times the netsim pipeline per fault model and
@@ -44,7 +48,7 @@ func runBenchNetsimJSON(ctx context.Context, path string, scale float64, seed ui
 	for _, spec := range netsim.DefaultChannels() {
 		var oneWorkerNs float64
 		for _, nw := range workerCounts {
-			var trials, bytes uint64
+			var trials, bytes, cellsSent, cellsDelivered uint64
 			runtime.GC()
 			var m0, m1 runtime.MemStats
 			runtime.ReadMemStats(&m0)
@@ -62,6 +66,8 @@ func runBenchNetsimJSON(ctx context.Context, path string, scale float64, seed ui
 				}
 				trials += tally.Channels[0].Trials
 				bytes += tally.Channels[0].Bytes
+				cellsSent += tally.Channels[0].CellsSent
+				cellsDelivered += tally.Channels[0].CellsDelivered
 			}
 			elapsed := time.Since(start)
 			runtime.ReadMemStats(&m1)
@@ -77,6 +83,9 @@ func runBenchNetsimJSON(ctx context.Context, path string, scale float64, seed ui
 				MBPerS:         float64(bytes) / sec / 1e6,
 				AllocsPerTrial: float64(m1.Mallocs-m0.Mallocs) / float64(trials),
 			}
+			if cellsSent > 0 {
+				rec.CellLossRate = 1 - float64(cellsDelivered)/float64(cellsSent)
+			}
 			if nw == 1 {
 				oneWorkerNs = nsPerOp
 			}
@@ -84,8 +93,8 @@ func runBenchNetsimJSON(ctx context.Context, path string, scale float64, seed ui
 				rec.Speedup = oneWorkerNs / nsPerOp
 			}
 			records = append(records, rec)
-			fmt.Fprintf(os.Stderr, "[benchnetsim %s w=%d: %.0f trials/s, %.1f MB/s, %.1f allocs/trial, speedup %.2fx]\n",
-				rec.Name, nw, rec.TrialsPerS, rec.MBPerS, rec.AllocsPerTrial, rec.Speedup)
+			fmt.Fprintf(os.Stderr, "[benchnetsim %s w=%d: %.0f trials/s, %.1f MB/s, %.1f allocs/trial, loss %.4f, speedup %.2fx]\n",
+				rec.Name, nw, rec.TrialsPerS, rec.MBPerS, rec.AllocsPerTrial, rec.CellLossRate, rec.Speedup)
 		}
 	}
 

@@ -27,9 +27,12 @@
 //
 // -netsim runs only the Monte Carlo fault-injection pipeline (§7's
 // alternative error models): corpus files ride TCP/IPv4 (and
-// UDP + IP fragmentation) inside AAL5/ATM cells through cell-drop,
-// bit-flip, solid-burst, reorder and misinsertion channels, and every
-// registry algorithm is scored on the corrupted deliveries.
+// UDP + IP fragmentation) inside AAL5/ATM cells through cell-loss
+// channels at a matched 1% average rate (i.i.d. drop, a Gilbert–Elliott
+// two-state chain, geometric burst-of-cells drops), bit-flip,
+// solid-burst, reorder, misinsertion and cell-duplication channels, and
+// every registry algorithm is scored on the corrupted deliveries.  The
+// report includes an i.i.d.-vs-correlated loss contrast section.
 //
 // -benchjson times the Table 1–3 splice simulations instead of printing
 // tables, writing ns/op, MB/s and allocs/op records that seed the

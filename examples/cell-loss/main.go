@@ -1,8 +1,10 @@
 // cell-loss demonstrates §7's "good news": whether a splice can even
 // reach the checksums depends on how the ATM switch drops cells.  It
-// streams a file transfer through three loss processes — plain random
-// cell loss, Partial Packet Discard, and Early Packet Discard — and
-// shows which receiver-side check (if any) ends up carrying the load.
+// streams a file transfer through five loss processes — plain random
+// cell loss, two correlated processes at the same average rate
+// (Gilbert–Elliott and geometric burst-of-cells), Partial Packet
+// Discard, and Early Packet Discard — and shows which receiver-side
+// check (if any) ends up carrying the load.
 package main
 
 import (
@@ -38,6 +40,8 @@ func main() {
 	}
 	for _, pol := range []lossim.Policy{
 		lossim.RandomLoss{P: cellLoss},
+		lossim.GilbertElliottAt(cellLoss, 5, 0.02, 0.8),
+		lossim.BurstDropAt(cellLoss, 4),
 		&lossim.PPD{P: cellLoss},
 		&lossim.EPD{PacketP: pktLoss},
 	} {
@@ -58,6 +62,10 @@ reading the table:
            catch.  That rarity is §7's first piece of good news — and
            why Tables 1-3 enumerate every candidate splice instead of
            waiting for the loss process to produce one.
+  ge, burstdrop — the same average loss, correlated: drops cluster into
+           runs that straddle packet boundaries, so fewer packets are
+           touched but each is hit harder — more clean losses and a
+           different splice-candidate mix at identical severity.
   ppd    — stranded cells always trip the AAL5 length check; the CRC
            is never consulted (§7: "a trailer will only be delivered
            if all preceding cells have been delivered").

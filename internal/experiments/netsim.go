@@ -21,10 +21,12 @@ type NetSimData struct {
 // inherit the Config's root seed, worker count and progress plumbing;
 // output is byte-identical at any worker count.
 func NetSim(cfg Config) NetSimData {
-	// The UDP pass skips the drop channel: fragment loss just exercises
-	// ipfrag's gap rejection, which the accounting already covers, and
+	// The UDP pass skips the three drop channels and the duplication
+	// channel: fragment loss (correlated or not) just exercises ipfrag's
+	// gap rejection, duplicated cells die at the AAL5 length check, and
 	// the datagram-level story is about what corruption survives
-	// reassembly.
+	// reassembly.  The TCP pass runs the full battery, including the
+	// i.i.d.-vs-correlated loss contrast at matched average rate.
 	udpChannels, _ := netsim.ChannelsByName([]string{"bitflip", "burst", "reorder", "misinsert"})
 
 	scaled := func(f float64) *corpus.FS {

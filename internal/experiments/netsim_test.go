@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"realsum/internal/netsim"
 )
 
 // TestNetSimReportDeterministicAcrossWorkers extends the tentpole
@@ -41,6 +43,34 @@ func TestNetSimShapeClaims(t *testing.T) {
 	}
 	if !strings.Contains(NetSimReport(d), "shape[tcp/burst]") {
 		t.Error("NetSimReport missing shape lines")
+	}
+
+	// The correlated-loss tentpole at experiment scale: all three drop
+	// channels run at a matched 1% average rate, yet the Gilbert–Elliott
+	// and burst-drop channels form a measurably different number of
+	// splice candidates than i.i.d. drop, and the rendered report
+	// carries the contrast section.
+	iid, ok1 := d.TCP.Channel("drop")
+	ge, ok2 := d.TCP.Channel("drop-ge")
+	bd, ok3 := d.TCP.Channel("drop-burst")
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatal("TCP tally missing one of the drop/drop-ge/drop-burst channels")
+	}
+	if iid.Corrupted == 0 {
+		t.Fatal("i.i.d. drop corrupted nothing at scale 0.1")
+	}
+	for _, c := range []*netsim.ChannelTally{ge, bd} {
+		loss := 1 - float64(c.CellsDelivered)/float64(c.CellsSent)
+		iidLoss := 1 - float64(iid.CellsDelivered)/float64(iid.CellsSent)
+		if loss < 0.7*iidLoss || loss > 1.3*iidLoss {
+			t.Errorf("%s: measured loss %.4f vs i.i.d. %.4f, want matched", c.Name, loss, iidLoss)
+		}
+		if c.Corrupted == iid.Corrupted {
+			t.Errorf("%s: splice-candidate count %d identical to i.i.d.", c.Name, c.Corrupted)
+		}
+	}
+	if !strings.Contains(NetSimReport(d), "i.i.d. vs correlated cell loss at matched average rate") {
+		t.Error("NetSimReport missing the loss-contrast section")
 	}
 }
 

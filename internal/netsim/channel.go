@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"math/rand/v2"
+	"sort"
 
 	"realsum/internal/atm"
 	"realsum/internal/errmodel"
@@ -36,12 +37,26 @@ type ChannelSpec struct {
 }
 
 // DefaultChannels is the fault-model battery cmd/paper -netsim runs:
-// random cell drop (the splice-forming loss process), two-bit flips,
-// 32-bit solid bursts, cell payload reordering, and cell misinsertion.
+// three cell-loss processes at a matched 1% average rate — i.i.d. drop
+// (the splice-forming baseline), a Gilbert–Elliott two-state chain, and
+// geometric burst-of-cells drops — plus two-bit flips, 32-bit solid
+// bursts, cell payload reordering, cell misinsertion, and mid-PDU cell
+// duplication.
 func DefaultChannels() []ChannelSpec {
 	return []ChannelSpec{
 		{Name: "drop", New: func() Channel {
 			return &DropChannel{Policy: lossim.RandomLoss{P: 0.01}}
+		}},
+		// Matched to drop's 1% average: πB = 0.02 of cells see the Bad
+		// state (mean sojourn 5 cells, ≈ most of a 256-byte packet) at a
+		// 40.2% drop rate, the rest lose 0.2% — 0.98·0.002 + 0.02·0.402
+		// = 0.01 exactly.
+		{Name: "drop-ge", New: func() Channel {
+			return &DropChannel{Policy: lossim.GilbertElliottAt(0.01, 5, 0.002, 0.402)}
+		}},
+		// Matched to drop's 1% average: whole-cell runs of mean length 4.
+		{Name: "drop-burst", New: func() Channel {
+			return &DropChannel{Policy: lossim.BurstDropAt(0.01, 4)}
 		}},
 		{Name: "bitflip", New: func() Channel {
 			return &CellCorrupt{Model: errmodel.BitFlips{K: 2}, PerCell: 0.05}
@@ -55,11 +70,26 @@ func DefaultChannels() []ChannelSpec {
 		{Name: "misinsert", New: func() Channel {
 			return &CellShuffle{Model: errmodel.Misinsert{Unit: atm.PayloadSize}, PerPacket: 0.5}
 		}},
+		{Name: "dup", New: func() Channel {
+			return &CellDup{PerPacket: 0.5}
+		}},
 	}
 }
 
+// ChannelNames lists the battery's channel names in order — the valid
+// arguments to ChannelsByName and cmd/netsim -channels.
+func ChannelNames() []string {
+	specs := DefaultChannels()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
 // ChannelsByName filters DefaultChannels down to a comma-separated
-// subset, preserving battery order.  Unknown names are reported.
+// subset, preserving battery order.  Unknown names are reported, sorted,
+// so callers' error messages are stable run-to-run.
 func ChannelsByName(names []string) ([]ChannelSpec, []string) {
 	want := make(map[string]bool, len(names))
 	for _, n := range names {
@@ -72,17 +102,24 @@ func ChannelsByName(names []string) ([]ChannelSpec, []string) {
 			delete(want, spec.Name)
 		}
 	}
-	var unknown []string
+	unknown := make([]string, 0, len(want))
 	for n := range want {
 		unknown = append(unknown, n)
+	}
+	sort.Strings(unknown)
+	if len(unknown) == 0 {
+		unknown = nil
 	}
 	return out, unknown
 }
 
 // DropChannel runs a lossim cell-loss policy over the stream: the
 // splice-forming fault, where surviving cells of adjacent packets
-// concatenate at the receiver.  Policy state resets at each packet
-// boundary (origin change), exactly as lossim.Run drives it.
+// concatenate at the receiver.  The policy is driven exactly per the
+// lossim.Policy contract: StartStream once per trial (so every trial is
+// a pure function of its TrialSeed), StartPacket at each packet
+// boundary (origin change), Drop per cell.  Correlated policies keep
+// their stream state across packet boundaries within the trial.
 type DropChannel struct {
 	Policy lossim.Policy
 }
@@ -92,6 +129,7 @@ func (d *DropChannel) Name() string { return "drop:" + d.Policy.Name() }
 
 // Transmit implements Channel.  It filters cells in place.
 func (d *DropChannel) Transmit(rng *rand.Rand, s *Stream) {
+	d.Policy.StartStream(rng)
 	out := s.Cells[:0]
 	oout := s.Origin[:0]
 	cur := int32(-1)
@@ -111,9 +149,15 @@ func (d *DropChannel) Transmit(rng *rand.Rand, s *Stream) {
 }
 
 // CellCorrupt damages individual cell payloads: each cell is hit with
-// probability PerCell, and a hit applies Model to the 48 payload bytes
-// in place (headers, and therefore framing, survive — the §7 model
-// where the medium corrupts data but delivery structure holds).
+// probability PerCell, and a hit applies Model to the payload bytes in
+// place (headers, and therefore framing, survive — the §7 model where
+// the medium corrupts data but delivery structure holds).  On an
+// end-of-packet cell the AAL5 CPCS trailer occupies the final
+// atm.TrailerSize bytes of the payload and is part of the framing this
+// model promises to preserve, so corruption there is restricted to the
+// SDU/padding bytes ahead of the trailer; a burst rewriting the
+// length/CRC fields would silently turn a payload fault into a framing
+// fault.
 type CellCorrupt struct {
 	Model   errmodel.InPlacer
 	PerCell float64
@@ -125,9 +169,17 @@ func (c *CellCorrupt) Name() string { return "corrupt:" + c.Model.Name() }
 // Transmit implements Channel.
 func (c *CellCorrupt) Transmit(rng *rand.Rand, s *Stream) {
 	for i := range s.Cells {
-		if rng.Float64() < c.PerCell {
-			c.Model.CorruptInPlace(rng, s.Cells[i].Payload[:])
+		if rng.Float64() >= c.PerCell {
+			continue
 		}
+		p := s.Cells[i].Payload[:]
+		if s.Cells[i].Header.EndOfPacket() {
+			p = p[:atm.PayloadSize-atm.TrailerSize]
+		}
+		if len(p) == 0 {
+			continue
+		}
+		c.Model.CorruptInPlace(rng, p)
 	}
 }
 
@@ -174,6 +226,62 @@ func (c *CellShuffle) Transmit(rng *rand.Rand, s *Stream) {
 		}
 		i = j + 1
 	}
+}
+
+// CellDup duplicates one mid-PDU data cell per hit packet: each packet
+// is hit with probability PerPacket, and a hit replays a uniformly
+// chosen non-trailer cell immediately after itself — the switch fault
+// AAL5 receivers must reject via the trailer's length check, since the
+// candidate then spans one cell more than CellCount(Length) allows.
+// The duplicate carries its original's Origin tag, so accounting still
+// charges the candidate to the packet whose trailer it ends in.
+type CellDup struct {
+	PerPacket float64
+
+	cells  []atm.Cell
+	origin []int32
+}
+
+// Name implements Channel.
+func (c *CellDup) Name() string { return "dup" }
+
+// Transmit implements Channel.  It rebuilds the stream in channel-owned
+// scratch (inserting is not an in-place edit) and copies it back, so
+// the steady state allocates nothing once both buffers have grown.
+func (c *CellDup) Transmit(rng *rand.Rand, s *Stream) {
+	out := c.cells[:0]
+	oout := c.origin[:0]
+	i := 0
+	for i < len(s.Cells) {
+		j := i
+		for j < len(s.Cells) && !s.Cells[j].Header.EndOfPacket() {
+			j++
+		}
+		if j >= len(s.Cells) {
+			// Stranded tail with no trailer; pass it through.
+			out = append(out, s.Cells[i:]...)
+			oout = append(oout, s.Origin[i:]...)
+			break
+		}
+		// Packet cells are [i, j] with the trailer at j; duplicable data
+		// cells are [i, j).
+		dup := -1
+		if j > i && rng.Float64() < c.PerPacket {
+			dup = i + rng.IntN(j-i)
+		}
+		for k := i; k <= j; k++ {
+			out = append(out, s.Cells[k])
+			oout = append(oout, s.Origin[k])
+			if k == dup {
+				out = append(out, s.Cells[k])
+				oout = append(oout, s.Origin[k])
+			}
+		}
+		i = j + 1
+	}
+	c.cells, c.origin = out, oout
+	s.Cells = append(s.Cells[:0], out...)
+	s.Origin = append(s.Origin[:0], oout...)
 }
 
 // splitmix64 is the SplitMix64 finalizer, the mixing step of the

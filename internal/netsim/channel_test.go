@@ -1,0 +1,286 @@
+package netsim
+
+import (
+	"context"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"realsum/internal/atm"
+	"realsum/internal/errmodel"
+	"realsum/internal/lossim"
+)
+
+// makeStream segments packets of the given payload sizes into one cell
+// train with origin tags, as the netsim sender does.
+func makeStream(t *testing.T, sizes ...int) Stream {
+	t.Helper()
+	var s Stream
+	for k, n := range sizes {
+		sdu := make([]byte, n)
+		for i := range sdu {
+			sdu[i] = byte(i*13 + k)
+		}
+		cells, err := atm.AppendSegment(s.Cells, sdu, 0, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := len(s.Origin); i < len(cells); i++ {
+			s.Origin = append(s.Origin, int32(k))
+		}
+		s.Cells = cells
+	}
+	return s
+}
+
+// TestCellCorruptPreservesTrailer is the regression test for the
+// end-of-packet trailer bug: CellCorrupt used to corrupt Payload[:] of
+// EOP cells, letting bursts silently rewrite the CPCS length/CRC fields
+// — framing damage from a channel documented to preserve framing.  It
+// hammers a stream whose cells are almost all EOP cells (1-byte SDUs
+// segment to a single marked cell) at PerCell=1 and asserts every
+// delivered trailer is bit-identical, while the data bytes ahead of the
+// trailer do get damaged.
+func TestCellCorruptPreservesTrailer(t *testing.T) {
+	for _, model := range []errmodel.InPlacer{
+		errmodel.BitFlips{K: 2},
+		errmodel.SolidBurst{Bits: 32},
+	} {
+		sizes := make([]int, 64)
+		for i := range sizes {
+			sizes[i] = 1 + i%40 // single-cell packets: every cell is EOP
+		}
+		s := makeStream(t, sizes...)
+		var want []atm.Trailer
+		for i := range s.Cells {
+			if !s.Cells[i].Header.EndOfPacket() {
+				t.Fatal("expected every cell to be end-of-packet")
+			}
+			want = append(want, atm.DecodeTrailer(s.Cells[i].Payload[:]))
+		}
+
+		ch := &CellCorrupt{Model: model, PerCell: 1}
+		rng := rand.New(rand.NewPCG(5, 5))
+		touched := false
+		for round := 0; round < 50; round++ {
+			ch.Transmit(rng, &s)
+			for i := range s.Cells {
+				if got := atm.DecodeTrailer(s.Cells[i].Payload[:]); got != want[i] {
+					t.Fatalf("%s round %d cell %d: trailer rewritten: got %v want %v",
+						model.Name(), round, i, got, want[i])
+				}
+				for _, b := range s.Cells[i].Payload[:atm.PayloadSize-atm.TrailerSize] {
+					if b != 0 && s.Cells[i].Payload[0] != byte(i*13) {
+						touched = true
+					}
+				}
+				if round == 49 {
+					// Sanity: the SDU byte must have been hit at least once
+					// across 50 full-rate rounds.
+					_ = touched
+				}
+			}
+		}
+		if !touched {
+			t.Errorf("%s: no SDU/padding byte ever changed; corruption is vacuous", model.Name())
+		}
+	}
+}
+
+// TestCellCorruptDataCellsFullPayload: non-EOP cells carry no framing,
+// so the whole 48-byte payload stays in play for the corruption model.
+func TestCellCorruptDataCellsFullPayload(t *testing.T) {
+	s := makeStream(t, 4096) // one big packet: many data cells
+	ch := &CellCorrupt{Model: errmodel.SolidBurst{Bits: 32}, PerCell: 1}
+	rng := rand.New(rand.NewPCG(6, 6))
+	lastFive := false
+	for round := 0; round < 200 && !lastFive; round++ {
+		orig := make([]atm.Cell, len(s.Cells))
+		copy(orig, s.Cells)
+		ch.Transmit(rng, &s)
+		for i := range s.Cells {
+			if s.Cells[i].Header.EndOfPacket() {
+				continue
+			}
+			for b := atm.PayloadSize - atm.TrailerSize; b < atm.PayloadSize; b++ {
+				if s.Cells[i].Payload[b] != orig[i].Payload[b] {
+					lastFive = true
+				}
+			}
+		}
+	}
+	if !lastFive {
+		t.Error("trailer-position bytes of data cells never corrupted; the exemption over-reaches")
+	}
+}
+
+// TestChannelsByNameSortedUnknowns pins the fixed error-reporting order:
+// unknown names come back sorted, not in map-range order.
+func TestChannelsByNameSortedUnknowns(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		specs, unknown := ChannelsByName([]string{"zeta", "drop", "alpha"})
+		if len(specs) != 1 || specs[0].Name != "drop" {
+			t.Fatalf("specs = %v, want [drop]", specs)
+		}
+		if len(unknown) != 2 || unknown[0] != "alpha" || unknown[1] != "zeta" {
+			t.Fatalf("unknown = %v, want [alpha zeta] (sorted, stable)", unknown)
+		}
+	}
+}
+
+func TestChannelNames(t *testing.T) {
+	names := ChannelNames()
+	want := []string{"drop", "drop-ge", "drop-burst", "bitflip", "burst", "reorder", "misinsert", "dup"}
+	if len(names) != len(want) {
+		t.Fatalf("ChannelNames() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("ChannelNames() = %v, want %v", names, want)
+		}
+	}
+}
+
+// TestCellDupRejectedByLengthCheck pins the duplication shape claim: a
+// duplicated mid-PDU cell makes the candidate one cell longer than
+// CellCount(trailer length) allows, so the AAL5 length check rejects
+// every corrupted delivery before the CRC is ever consulted.
+func TestCellDupRejectedByLengthCheck(t *testing.T) {
+	w := sliceWalker{files: [][]byte{varied(8192), zeroHeavy(4096)}}
+	cfg := Config{
+		Trials: 20,
+		Seed:   11,
+		Channels: []ChannelSpec{{Name: "dup", New: func() Channel {
+			return &CellDup{PerPacket: 0.9}
+		}}},
+	}
+	tally, err := Run(context.Background(), w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tally.Channels[0]
+	if c.Corrupted == 0 {
+		t.Fatal("dup channel corrupted nothing; test is vacuous")
+	}
+	if c.Lost != 0 {
+		t.Errorf("dup channel lost %d packets; duplication must not lose trailers", c.Lost)
+	}
+	p := c.Pipeline
+	if p.Framing != c.Corrupted {
+		t.Errorf("length check rejected %d of %d duplicated candidates; all must die at framing",
+			p.Framing, c.Corrupted)
+	}
+	if p.CRC != 0 {
+		t.Errorf("%d duplicated candidates reached the AAL5 CRC; the length check fires first", p.CRC)
+	}
+	if p.Header != 0 || p.Checksum != 0 || p.AcceptedCorrupt != 0 {
+		t.Errorf("duplicated candidates leaked past framing: header=%d checksum=%d accepted-corrupt=%d",
+			p.Header, p.Checksum, p.AcceptedCorrupt)
+	}
+}
+
+// TestCellDupTransmitShape checks the stream-level mechanics directly:
+// hit packets gain exactly one cell, the duplicate is adjacent to its
+// original, and origin tags stay parallel.
+func TestCellDupTransmitShape(t *testing.T) {
+	s := makeStream(t, 300, 300, 300)
+	nCells, nOrigin := len(s.Cells), len(s.Origin)
+	ch := &CellDup{PerPacket: 1}
+	ch.Transmit(rand.New(rand.NewPCG(7, 7)), &s)
+	if len(s.Cells) != nCells+3 {
+		t.Fatalf("3 packets at PerPacket=1: got %d cells, want %d", len(s.Cells), nCells+3)
+	}
+	if len(s.Origin) != nOrigin+3 {
+		t.Fatalf("origin not parallel: %d tags for %d cells", len(s.Origin), len(s.Cells))
+	}
+	dups := 0
+	for i := 1; i < len(s.Cells); i++ {
+		if s.Cells[i] == s.Cells[i-1] && s.Origin[i] == s.Origin[i-1] {
+			dups++
+			if s.Cells[i].Header.EndOfPacket() {
+				t.Error("trailer cell duplicated; only data cells are eligible")
+			}
+		}
+	}
+	if dups != 3 {
+		t.Errorf("found %d adjacent duplicates, want 3", dups)
+	}
+}
+
+// TestNetsimCorrelatedLossContrast is the tentpole acceptance claim: at
+// matched 1% average cell-loss rate, the Gilbert–Elliott and burst-drop
+// channels produce measurably different splice formation and
+// undetected-error behaviour than i.i.d. drop, and the rendered report
+// carries the contrast section.
+func TestNetsimCorrelatedLossContrast(t *testing.T) {
+	specs, unknown := ChannelsByName([]string{"drop", "drop-ge", "drop-burst"})
+	if len(unknown) != 0 || len(specs) != 3 {
+		t.Fatalf("loss battery: specs=%d unknown=%v", len(specs), unknown)
+	}
+	w := sliceWalker{files: [][]byte{zeroHeavy(16384), varied(16384)}}
+	tally, err := Run(context.Background(), w, Config{Trials: 40, Seed: 5, Channels: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lossOf := func(c *ChannelTally) float64 {
+		return 1 - float64(c.CellsDelivered)/float64(c.CellsSent)
+	}
+	iid := &tally.Channels[0]
+	if iid.Corrupted == 0 {
+		t.Fatal("i.i.d. drop formed no splice candidates; contrast is vacuous")
+	}
+	for i := 1; i < 3; i++ {
+		c := &tally.Channels[i]
+		// Matched severity: measured loss within ±30% of the i.i.d. rate.
+		if r, r0 := lossOf(c), lossOf(iid); r < 0.7*r0 || r > 1.3*r0 {
+			t.Errorf("%s: measured loss %.4f vs i.i.d. %.4f; channels must run at matched rate",
+				c.Name, r, r0)
+		}
+		// Measurably different splice formation under the same average loss.
+		if c.Corrupted == iid.Corrupted {
+			t.Errorf("%s: corrupted count %d identical to i.i.d.; correlation has no effect",
+				c.Name, c.Corrupted)
+		}
+		if c.Lost == iid.Lost {
+			t.Errorf("%s: lost count %d identical to i.i.d.", c.Name, c.Lost)
+		}
+	}
+
+	rep := tally.Report()
+	if !strings.Contains(rep, "i.i.d. vs correlated cell loss at matched average rate") {
+		t.Error("report missing the loss-contrast section")
+	}
+	for _, name := range []string{"drop-ge", "drop-burst"} {
+		if !strings.Contains(rep, name) {
+			t.Errorf("report missing channel %s", name)
+		}
+	}
+}
+
+// TestDropChannelTrialPurity: a DropChannel wrapping a correlated
+// policy must be a pure function of the RNG state — StartStream resets
+// the chain each Transmit, so two trials from equal seeds agree even
+// though the policy carries cross-packet state within a trial.
+func TestDropChannelTrialPurity(t *testing.T) {
+	run := func() ([]atm.Cell, []int32) {
+		s := makeStream(t, 600, 600, 600, 600)
+		ch := &DropChannel{Policy: lossim.GilbertElliottAt(0.2, 5, 0.05, 0.9)}
+		ch.Transmit(rand.New(rand.NewPCG(3, 9)), &s)
+		return s.Cells, s.Origin
+	}
+	c1, o1 := run()
+	c2, o2 := run()
+	if len(c1) != len(c2) || len(o1) != len(o2) {
+		t.Fatalf("trial impure: %d vs %d cells survive equal seeds", len(c1), len(c2))
+	}
+	for i := range c1 {
+		if c1[i] != c2[i] || o1[i] != o2[i] {
+			t.Fatalf("trial impure at cell %d", i)
+		}
+	}
+	full := makeStream(t, 600, 600, 600, 600)
+	if len(c1) >= len(full.Cells) {
+		t.Error("20% correlated loss dropped nothing; purity test is vacuous")
+	}
+}

@@ -211,12 +211,57 @@ func (t *Tally) Report() string {
 		b.WriteByte('\n')
 	}
 
+	b.WriteString(t.lossContrastReport())
 	b.WriteString(t.pipelineReport())
 	for _, s := range t.Shapes() {
 		fmt.Fprintf(&b, "shape[%s/%s]: corrupted=%d weakest=%s(%d) tcp=%d crc32=%d\n",
 			t.Mode, s.Channel, s.Corrupted, s.Weakest, s.WeakestUndetect, s.TCPUndetected, s.CRC32Undetected)
 	}
 	return b.String()
+}
+
+// lossContrastReport contrasts the cell-loss channels — i.i.d. drop vs
+// the correlated processes — which the battery runs at matched average
+// loss rate: measured loss, splice-candidate formation (corrupted
+// deliveries), where the layered receiver rejected them, and the
+// undetected counts of the bellwether algorithms.  Rendered only when
+// the tally holds at least two drop channels to contrast.
+func (t *Tally) lossContrastReport() string {
+	var rows []*ChannelTally
+	for i := range t.Channels {
+		if strings.HasPrefix(t.Channels[i].Name, "drop") {
+			rows = append(rows, &t.Channels[i])
+		}
+	}
+	if len(rows) < 2 {
+		return ""
+	}
+	tb := report.Table{
+		Title: fmt.Sprintf("netsim %s: i.i.d. vs correlated cell loss at matched average rate", t.Mode),
+		Headers: []string{"channel", "cell loss", "lost pkts", "splices",
+			"framing", "AAL5 CRC", "header", "checksum", "acc-corrupt", "tcp miss", "crc32 miss"},
+	}
+	for _, c := range rows {
+		loss := 0.0
+		if c.CellsSent > 0 {
+			loss = 1 - float64(c.CellsDelivered)/float64(c.CellsSent)
+		}
+		var tcpMiss, crcMiss uint64
+		for _, a := range c.Algos {
+			switch a.Name {
+			case "tcp":
+				tcpMiss = a.Undetected
+			case "crc32":
+				crcMiss = a.Undetected
+			}
+		}
+		p := &c.Pipeline
+		tb.AddRow(c.Name, report.Percent(loss), report.Count(c.Lost), report.Count(c.Corrupted),
+			report.Count(p.Framing), report.Count(p.CRC), report.Count(p.Header),
+			report.Count(p.Checksum), report.Count(p.AcceptedCorrupt),
+			report.Count(tcpMiss), report.Count(crcMiss))
+	}
+	return tb.Render() + "\n"
 }
 
 // pipelineReport renders the structural receiver outcomes for the

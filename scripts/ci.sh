@@ -20,13 +20,33 @@ go test -race ./internal/sim/... ./internal/splice/... ./internal/netsim/...
 echo "== go test -race (workers determinism) =="
 go test -race -run 'Deterministic' ./internal/sim/... ./internal/experiments/... ./internal/netsim/...
 
-echo "== netsim smoke (workers 1 vs 4 determinism under -race) =="
+echo "== netsim smoke (workers 1 vs 4 determinism under -race, full battery incl. correlated loss + dup) =="
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 go run -race ./cmd/paper -netsim -scale 0.02 -workers 1 > "$tmp/netsim.w1"
 go run -race ./cmd/paper -netsim -scale 0.02 -workers 4 > "$tmp/netsim.w4"
 diff "$tmp/netsim.w1" "$tmp/netsim.w4" || { echo "netsim output differs across worker counts"; exit 1; }
 test -s "$tmp/netsim.w1" || { echo "empty netsim report"; exit 1; }
+for ch in drop-ge drop-burst dup; do
+    grep -q "shape\[tcp/$ch\]" "$tmp/netsim.w1" || { echo "netsim report missing channel $ch"; exit 1; }
+done
+grep -q "i.i.d. vs correlated cell loss at matched average rate" "$tmp/netsim.w1" \
+    || { echo "netsim report missing the loss-contrast section"; exit 1; }
+
+echo "== netsim -dir corpus walk pin (internal/onescomp, -race) =="
+# A real-directory-tree run over a small stable in-repo tree, with its
+# shape lines pinned: any regression in the corpus walk, the sender
+# packetization, or the trial seed chain shows up as a diff here.  The
+# pinned numbers change whenever internal/onescomp's files change —
+# update them alongside.
+go run -race ./cmd/netsim -dir internal/onescomp -channels drop,drop-ge,drop-burst,dup -trials 2 -workers 2 > "$tmp/netsim.dir"
+grep "^shape" "$tmp/netsim.dir" > "$tmp/netsim.dir.shapes"
+diff - "$tmp/netsim.dir.shapes" <<'SHAPES' || { echo "netsim -dir shape lines changed"; exit 1; }
+shape[tcp/drop]: corrupted=4 weakest=tcp(0) tcp=0 crc32=0
+shape[tcp/drop-ge]: corrupted=4 weakest=tcp(0) tcp=0 crc32=0
+shape[tcp/drop-burst]: corrupted=1 weakest=tcp(0) tcp=0 crc32=0
+shape[tcp/dup]: corrupted=54 weakest=tcp(0) tcp=0 crc32=0
+SHAPES
 
 echo "== bench smoke (splice + dist + netsim, scale 0.02) =="
 go run ./cmd/paper -benchjson "$tmp/BENCH_splice.json" -scale 0.02 -benchiters 1
