@@ -9,13 +9,18 @@
 //	netsim [-profile "smeg.stanford.edu:/u1"] [-scale 1.0] [-dir PATH]
 //	       [-mode tcp|udpfrag]
 //	       [-channels drop,drop-ge,drop-burst,bitflip,burst,reorder,misinsert,dup]
+//	       [-placement e2e,segment]
 //	       [-trials 6] [-seed 0] [-workers N]
 //
 // -dir scores a real directory tree instead of a synthetic profile.
 // The three drop channels run at a matched 1% average cell-loss rate —
 // i.i.d., Gilbert–Elliott, and geometric burst-of-cells — so the report
-// contrasts correlated against independent loss directly.  Output is
-// byte-identical at any -workers count.
+// contrasts correlated against independent loss directly.  -placement
+// selects the checksum placements scored (default both in tcp mode):
+// e2e treats each algorithm as one checksum over the whole AAL5 PDU,
+// segment scores it per TCP segment and adds the header-vs-trailer
+// field-position contrast for the TCP sum.  Output is byte-identical at
+// any -workers count.
 package main
 
 import (
@@ -37,6 +42,8 @@ func main() {
 	dir := flag.String("dir", "", "score a real directory tree instead of a synthetic profile")
 	mode := flag.String("mode", "tcp", "transport encoding: tcp (one packet per PDU) or udpfrag (UDP datagrams + IP fragmentation)")
 	channels := flag.String("channels", "", "comma-separated fault channels (default: all of "+valid+")")
+	validPl := strings.Join(netsim.PlacementNames(), ",")
+	placement := flag.String("placement", "", "comma-separated checksum placements (default: all of "+validPl+"; segment applies to tcp mode only)")
 	trials := flag.Int("trials", 0, "trials per (file × channel) (default 6)")
 	seed := flag.Uint64("seed", 0, "root seed; every trial's fault pattern derives from it")
 	workers := flag.Int("workers", 0, "parallel workers (default GOMAXPROCS; output is identical at any count)")
@@ -62,6 +69,14 @@ func main() {
 			os.Exit(2)
 		}
 		cfg.Channels = specs
+	}
+	if *placement != "" {
+		pls, unknown := netsim.PlacementsByName(strings.Split(*placement, ","))
+		if len(unknown) > 0 {
+			fmt.Fprintf(os.Stderr, "netsim: unknown placements %v (want a subset of %s)\n", unknown, validPl)
+			os.Exit(2)
+		}
+		cfg.Placements = pls
 	}
 
 	var walker corpus.Walker

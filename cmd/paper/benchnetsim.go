@@ -19,8 +19,14 @@ import (
 // AllocsPerRun-guarded to zero in internal/netsim, so this stays small
 // and scale-independent.
 type benchNetsimRecord struct {
-	Name           string  `json:"name"`
-	Scale          float64 `json:"scale"`
+	Name  string  `json:"name"`
+	Scale float64 `json:"scale"`
+	// Placement is the checksum placement the run scored: "e2e" (one
+	// checksum over the whole PDU) or "segment" (per TCP segment, with
+	// the header-vs-trailer position contrast).  The placement loop is
+	// inside the scorer, so the segment records price the extra
+	// per-segment checksum work against the same fault channels.
+	Placement      string  `json:"placement"`
 	Workers        int     `json:"workers"`
 	Trials         uint64  `json:"trials"`
 	TrialsPerS     float64 `json:"trials_per_s"`
@@ -33,11 +39,15 @@ type benchNetsimRecord struct {
 	CellLossRate float64 `json:"cell_loss_rate"`
 }
 
-// runBenchNetsimJSON times the netsim pipeline per fault model and
-// writes the records to path, at one worker and at GOMAXPROCS workers.
-func runBenchNetsimJSON(ctx context.Context, path string, scale float64, seed uint64, iters int) error {
+// runBenchNetsimJSON times the netsim pipeline per (fault model ×
+// checksum placement) and writes the records to path, at one worker and
+// at GOMAXPROCS workers.
+func runBenchNetsimJSON(ctx context.Context, path string, scale float64, seed uint64, iters int, placements []netsim.Placement) error {
 	if iters < 1 {
 		return fmt.Errorf("-benchiters must be >= 1 (got %d)", iters)
+	}
+	if len(placements) == 0 {
+		placements = netsim.AllPlacements()
 	}
 	workerCounts := []int{1}
 	if maxw := runtime.GOMAXPROCS(0); maxw > 1 {
@@ -46,55 +56,59 @@ func runBenchNetsimJSON(ctx context.Context, path string, scale float64, seed ui
 
 	var records []benchNetsimRecord
 	for _, spec := range netsim.DefaultChannels() {
-		var oneWorkerNs float64
-		for _, nw := range workerCounts {
-			var trials, bytes, cellsSent, cellsDelivered uint64
-			runtime.GC()
-			var m0, m1 runtime.MemStats
-			runtime.ReadMemStats(&m0)
-			start := time.Now()
-			for it := 0; it < iters; it++ {
-				p := corpus.StanfordU1().Scale(scale)
-				p.Seed ^= seed
-				tally, err := netsim.Run(ctx, p.Build(), netsim.Config{
-					Seed:     seed,
-					Channels: []netsim.ChannelSpec{spec},
-					Workers:  nw,
-				})
-				if err != nil {
-					return err
+		for _, pl := range placements {
+			var oneWorkerNs float64
+			for _, nw := range workerCounts {
+				var trials, bytes, cellsSent, cellsDelivered uint64
+				runtime.GC()
+				var m0, m1 runtime.MemStats
+				runtime.ReadMemStats(&m0)
+				start := time.Now()
+				for it := 0; it < iters; it++ {
+					p := corpus.StanfordU1().Scale(scale)
+					p.Seed ^= seed
+					tally, err := netsim.Run(ctx, p.Build(), netsim.Config{
+						Seed:       seed,
+						Channels:   []netsim.ChannelSpec{spec},
+						Placements: []netsim.Placement{pl},
+						Workers:    nw,
+					})
+					if err != nil {
+						return err
+					}
+					trials += tally.Channels[0].Trials
+					bytes += tally.Channels[0].Bytes
+					cellsSent += tally.Channels[0].CellsSent
+					cellsDelivered += tally.Channels[0].CellsDelivered
 				}
-				trials += tally.Channels[0].Trials
-				bytes += tally.Channels[0].Bytes
-				cellsSent += tally.Channels[0].CellsSent
-				cellsDelivered += tally.Channels[0].CellsDelivered
-			}
-			elapsed := time.Since(start)
-			runtime.ReadMemStats(&m1)
+				elapsed := time.Since(start)
+				runtime.ReadMemStats(&m1)
 
-			sec := elapsed.Seconds()
-			nsPerOp := float64(elapsed.Nanoseconds()) / float64(iters)
-			rec := benchNetsimRecord{
-				Name:           "netsim_" + spec.Name,
-				Scale:          scale,
-				Workers:        nw,
-				Trials:         trials / uint64(iters),
-				TrialsPerS:     float64(trials) / sec,
-				MBPerS:         float64(bytes) / sec / 1e6,
-				AllocsPerTrial: float64(m1.Mallocs-m0.Mallocs) / float64(trials),
+				sec := elapsed.Seconds()
+				nsPerOp := float64(elapsed.Nanoseconds()) / float64(iters)
+				rec := benchNetsimRecord{
+					Name:           "netsim_" + spec.Name,
+					Scale:          scale,
+					Placement:      pl.String(),
+					Workers:        nw,
+					Trials:         trials / uint64(iters),
+					TrialsPerS:     float64(trials) / sec,
+					MBPerS:         float64(bytes) / sec / 1e6,
+					AllocsPerTrial: float64(m1.Mallocs-m0.Mallocs) / float64(trials),
+				}
+				if cellsSent > 0 {
+					rec.CellLossRate = 1 - float64(cellsDelivered)/float64(cellsSent)
+				}
+				if nw == 1 {
+					oneWorkerNs = nsPerOp
+				}
+				if oneWorkerNs > 0 {
+					rec.Speedup = oneWorkerNs / nsPerOp
+				}
+				records = append(records, rec)
+				fmt.Fprintf(os.Stderr, "[benchnetsim %s/%s w=%d: %.0f trials/s, %.1f MB/s, %.1f allocs/trial, loss %.4f, speedup %.2fx]\n",
+					rec.Name, rec.Placement, nw, rec.TrialsPerS, rec.MBPerS, rec.AllocsPerTrial, rec.CellLossRate, rec.Speedup)
 			}
-			if cellsSent > 0 {
-				rec.CellLossRate = 1 - float64(cellsDelivered)/float64(cellsSent)
-			}
-			if nw == 1 {
-				oneWorkerNs = nsPerOp
-			}
-			if oneWorkerNs > 0 {
-				rec.Speedup = oneWorkerNs / nsPerOp
-			}
-			records = append(records, rec)
-			fmt.Fprintf(os.Stderr, "[benchnetsim %s w=%d: %.0f trials/s, %.1f MB/s, %.1f allocs/trial, loss %.4f, speedup %.2fx]\n",
-				rec.Name, nw, rec.TrialsPerS, rec.MBPerS, rec.AllocsPerTrial, rec.CellLossRate, rec.Speedup)
 		}
 	}
 

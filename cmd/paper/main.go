@@ -8,7 +8,7 @@
 //	paper -netsim [-scale 1.0] [-workers N] [-seed S]
 //	paper -benchjson BENCH_splice.json [-scale 0.05] [-benchiters 3]
 //	paper -benchdistjson BENCH_dist.json [-scale 0.05] [-benchiters 3]
-//	paper -benchnetsimjson BENCH_netsim.json [-scale 0.05] [-benchiters 3]
+//	paper -benchnetsimjson BENCH_netsim.json [-scale 0.05] [-benchiters 3] [-placement e2e,segment]
 //
 // With no -run flag every experiment runs in paper order.  The -scale
 // flag multiplies the corpus sizes (1.0 ≈ a few MB per file system; the
@@ -31,8 +31,11 @@
 // channels at a matched 1% average rate (i.i.d. drop, a Gilbert–Elliott
 // two-state chain, geometric burst-of-cells drops), bit-flip,
 // solid-burst, reorder, misinsertion and cell-duplication channels, and
-// every registry algorithm is scored on the corrupted deliveries.  The
-// report includes an i.i.d.-vs-correlated loss contrast section.
+// every registry algorithm is scored on the corrupted deliveries under
+// both checksum placements (end-to-end over the PDU and per TCP
+// segment, with a header-vs-trailer position contrast for the TCP sum).
+// The report includes i.i.d.-vs-correlated loss and
+// end-to-end-vs-per-segment placement contrast sections.
 //
 // -benchjson times the Table 1–3 splice simulations instead of printing
 // tables, writing ns/op, MB/s and allocs/op records that seed the
@@ -51,6 +54,7 @@ import (
 	"time"
 
 	"realsum/internal/experiments"
+	"realsum/internal/netsim"
 	"realsum/internal/sim"
 )
 
@@ -64,7 +68,8 @@ func main() {
 	progress := flag.Bool("progress", false, "print live throughput (files, MB, MB/s) to stderr while experiments run")
 	benchjson := flag.String("benchjson", "", "time the Table 1–3 splice simulations and write ns/op, MB/s and allocs/op records to this file (e.g. BENCH_splice.json), then exit")
 	benchdistjson := flag.String("benchdistjson", "", "time the Figure 2–3 / Table 4–5 distribution passes and write records (incl. parallel speedup) to this file (e.g. BENCH_dist.json), then exit")
-	benchnetsimjson := flag.String("benchnetsimjson", "", "time the netsim fault-injection pipeline per fault model and write trials/sec, MB/s and allocs/trial records to this file (e.g. BENCH_netsim.json), then exit")
+	benchnetsimjson := flag.String("benchnetsimjson", "", "time the netsim fault-injection pipeline per (fault model × checksum placement) and write trials/sec, MB/s and allocs/trial records to this file (e.g. BENCH_netsim.json), then exit")
+	placement := flag.String("placement", "", "comma-separated checksum placements for -benchnetsimjson (default: all of "+strings.Join(netsim.PlacementNames(), ",")+")")
 	benchIters := flag.Int("benchiters", 3, "iterations per -benchjson/-benchdistjson record")
 	flag.Parse()
 
@@ -85,7 +90,17 @@ func main() {
 			}
 		}
 		if *benchnetsimjson != "" {
-			if err := runBenchNetsimJSON(ctx, *benchnetsimjson, *scale, *seed, *benchIters); err != nil {
+			var placements []netsim.Placement
+			if *placement != "" {
+				pls, unknown := netsim.PlacementsByName(strings.Split(*placement, ","))
+				if len(unknown) > 0 {
+					fmt.Fprintf(os.Stderr, "paper: unknown placements %v (want a subset of %s)\n",
+						unknown, strings.Join(netsim.PlacementNames(), ","))
+					os.Exit(2)
+				}
+				placements = pls
+			}
+			if err := runBenchNetsimJSON(ctx, *benchnetsimjson, *scale, *seed, *benchIters, placements); err != nil {
 				fmt.Fprintf(os.Stderr, "paper: benchnetsimjson: %v\n", err)
 				os.Exit(1)
 			}

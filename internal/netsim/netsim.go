@@ -18,6 +18,13 @@
 // its checksum of the received bytes equals its checksum of that sent
 // PDU even though the bytes differ.
 //
+// ModeTCP scores every algorithm under two checksum placements over the
+// same delivered cells: end to end over the whole reassembled PDU, and
+// per TCP segment (the candidate's bytes at the claimed segment's
+// span), plus a header-vs-trailer field-position contrast for the TCP
+// sum — the paper's §8–§10 layered-checksum axis, measured by
+// injection.  See Placement.
+//
 // Determinism contract: trials run on the sim.Collect shard engine with
 // per-trial seeds derived by TrialSeed from (rootSeed, fileIdx,
 // channelIdx, trialIdx) only, and the Tally holds nothing but
@@ -38,6 +45,7 @@ import (
 	"realsum/internal/corpus"
 	"realsum/internal/crc"
 	"realsum/internal/ipfrag"
+	"realsum/internal/onescomp"
 	"realsum/internal/sim"
 	"realsum/internal/tcpip"
 )
@@ -85,6 +93,10 @@ type Config struct {
 	Channels []ChannelSpec
 	// Algorithms lists the scored algorithms (default algo.All()).
 	Algorithms []algo.Algorithm
+	// Placements selects the checksum placements scored (default
+	// AllPlacements).  PlaceSegment applies to ModeTCP only and is
+	// dropped in ModeUDPFrag, whose fragments are not TCP segments.
+	Placements []Placement
 	// Workers bounds parallelism across files (default GOMAXPROCS).
 	Workers int
 	// Progress, when non-nil, receives per-file throughput updates.
@@ -133,6 +145,37 @@ func (c Config) algorithms() []algo.Algorithm {
 	return c.Algorithms
 }
 
+// placements normalizes the configured placement set: default full
+// battery, duplicates dropped, PlaceSegment filtered out in ModeUDPFrag
+// (fragments are not TCP segments), and never empty — a run that scores
+// no placement would have nothing to report, so the e2e placement is
+// the floor.
+func (c Config) placements() []Placement {
+	src := c.Placements
+	if len(src) == 0 {
+		src = AllPlacements()
+	}
+	var out []Placement
+	var seen [2]bool
+	for _, p := range src {
+		if p != PlaceE2E && p != PlaceSegment {
+			continue
+		}
+		if c.Mode == ModeUDPFrag && p == PlaceSegment {
+			continue
+		}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		out = []Placement{PlaceE2E}
+	}
+	return out
+}
+
 func (c Config) buildOptions() tcpip.BuildOptions { return tcpip.BuildOptions{} }
 
 // fragRef queues one AAL5-accepted IP fragment for datagram reassembly:
@@ -150,6 +193,10 @@ type worker struct {
 	tally *Tally
 	aal5  *crc.Table
 
+	// Placement scoring: indexes into each ChannelTally.Placements for
+	// the enabled placements (-1 when disabled).
+	e2eIdx, segIdx int
+
 	// Sender state for the current file.
 	pduArena []byte // concatenated sent PDUs (cell payloads incl. padding + trailer)
 	pduOff   []int  // PDU k spans pduArena[pduOff[k]:pduOff[k+1]]
@@ -160,6 +207,8 @@ type worker struct {
 	dgOff    []int
 	fragDG   []int // PDU index -> datagram index
 	sums     []uint64
+	segSums  []uint64 // per-segment placement: Sum over sent segment bytes
+	sentCk   []uint16 // per-segment placement: sent TCP checksum field per packet
 	pktBuf   []byte
 
 	// Per-trial scratch.
@@ -186,15 +235,29 @@ func newWorker(cfg Config) *worker {
 	for i, a := range algos {
 		algoNames[i] = a.Name()
 	}
+	placements := cfg.placements()
+	plNames := make([]string, len(placements))
+	e2eIdx, segIdx := -1, -1
+	for i, p := range placements {
+		plNames[i] = p.String()
+		switch p {
+		case PlaceE2E:
+			e2eIdx = i
+		case PlaceSegment:
+			segIdx = i
+		}
+	}
 	pcg := rand.NewPCG(0, 0)
 	return &worker{
-		cfg:   cfg,
-		algos: algos,
-		chans: chans,
-		tally: newTally(cfg.Mode.String(), names, algoNames),
-		aal5:  crc.New(crc.CRC32),
-		pcg:   pcg,
-		rng:   rand.New(pcg),
+		cfg:    cfg,
+		algos:  algos,
+		chans:  chans,
+		tally:  newTally(cfg.Mode.String(), names, algoNames, plNames),
+		aal5:   crc.New(crc.CRC32),
+		e2eIdx: e2eIdx,
+		segIdx: segIdx,
+		pcg:    pcg,
+		rng:    rand.New(pcg),
 	}
 }
 
@@ -226,6 +289,8 @@ func (w *worker) reset() {
 	w.dgOff = append(w.dgOff[:0], 0)
 	w.fragDG = w.fragDG[:0]
 	w.sums = w.sums[:0]
+	w.segSums = w.segSums[:0]
+	w.sentCk = w.sentCk[:0]
 }
 
 // addPDU segments one transported packet into AAL5 cells and records
@@ -319,12 +384,23 @@ func (w *worker) buildUDP(data []byte) {
 
 // computeSums precomputes every algorithm's checksum of every sent PDU
 // — the notional carried check values — once per file, so trials only
-// checksum the received side.
+// checksum the received side.  When the per-segment placement is
+// enabled it also precomputes each algorithm's sum over the sent
+// segment bytes (the PDU minus AAL5 padding and trailer) and the TCP
+// checksum field value each packet transmitted, the trailer-position
+// check material.
 func (w *worker) computeSums() {
 	for k := 0; k+1 < len(w.pduOff); k++ {
 		pdu := w.pduArena[w.pduOff[k]:w.pduOff[k+1]]
 		for _, a := range w.algos {
 			w.sums = append(w.sums, a.Sum(pdu))
+		}
+		if w.segIdx >= 0 {
+			seg := pdu[:w.pktLen[k]]
+			for _, a := range w.algos {
+				w.segSums = append(w.segSums, a.Sum(seg))
+			}
+			w.sentCk = append(w.sentCk, tcpip.StoredTCPChecksum(seg))
 		}
 	}
 }
@@ -376,7 +452,8 @@ func (w *worker) trial(fileIdx, chanIdx, trial int) {
 
 // score classifies one delivered candidate (the cells up to a delivered
 // trailer) against the sent PDU its trailer claims, and asks every
-// algorithm whether it would have caught the difference.
+// algorithm under every enabled placement whether it would have caught
+// the difference.
 func (w *worker) score(ct *ChannelTally, origin int, cells []atm.Cell) {
 	ct.PDUsDelivered++
 	w.delivered[origin] = true
@@ -386,16 +463,76 @@ func (w *worker) score(ct *ChannelTally, origin int, cells []atm.Cell) {
 		ct.Intact++
 	} else {
 		ct.Corrupted++
-		base := origin * len(w.algos)
-		for a, alg := range w.algos {
-			if alg.Sum(w.pdu) == w.sums[base+a] {
-				ct.Algos[a].Undetected++
-			} else {
-				ct.Algos[a].Detected++
+	}
+	if w.e2eIdx >= 0 {
+		pt := &ct.Placements[w.e2eIdx]
+		pt.Delivered++
+		if !corrupted {
+			pt.Intact++
+		} else {
+			pt.Corrupted++
+			base := origin * len(w.algos)
+			for a, alg := range w.algos {
+				if alg.Sum(w.pdu) == w.sums[base+a] {
+					pt.Algos[a].Undetected++
+				} else {
+					pt.Algos[a].Detected++
+				}
 			}
 		}
 	}
+	if w.segIdx >= 0 {
+		w.scoreSegment(&ct.Placements[w.segIdx], origin)
+	}
 	w.pipeline(ct, origin, cells, corrupted)
+}
+
+// scoreSegment scores one delivered candidate at TCP-segment
+// granularity: the received bytes at the claimed segment's span (its
+// first PacketLen bytes — AAL5 padding and trailer excluded) against
+// the claimed segment's sent check values.  A miss is counted when the
+// received segment bytes collide with the sent checksum even though
+// the bytes differ.  A candidate whose damage lies entirely in padding
+// or trailer bytes is intact here while corrupted end-to-end — the
+// placement-blindness the contrast table quantifies.
+//
+// On each corrupted segment the TCP one's-complement sum is
+// additionally scored at both field positions via SegmentCheckValue:
+// HeaderPos compares the stored field inside the received bytes,
+// TrailerPos the claimed origin's transmitted field value, both
+// against the sum recomputed over the received bytes.
+func (w *worker) scoreSegment(pt *PlacementTally, origin int) {
+	pt.Delivered++
+	n := w.pktLen[origin]
+	recv := w.pdu
+	if len(recv) > n {
+		recv = recv[:n]
+	}
+	sentSeg := w.pduArena[w.pduOff[origin] : w.pduOff[origin]+n]
+	if bytes.Equal(recv, sentSeg) {
+		pt.Intact++
+		return
+	}
+	pt.Corrupted++
+	base := origin * len(w.algos)
+	for a, alg := range w.algos {
+		if alg.Sum(recv) == w.segSums[base+a] {
+			pt.Algos[a].Undetected++
+		} else {
+			pt.Algos[a].Detected++
+		}
+	}
+	stored, want, ok := tcpip.SegmentCheckValue(recv)
+	if ok && onescomp.Congruent(stored, want) {
+		pt.HeaderPos.Undetected++
+	} else {
+		pt.HeaderPos.Detected++
+	}
+	if ok && onescomp.Congruent(w.sentCk[origin], want) {
+		pt.TrailerPos.Undetected++
+	} else {
+		pt.TrailerPos.Detected++
+	}
 }
 
 // pipeline runs the structural receiver battery a real endpoint

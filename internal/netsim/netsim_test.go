@@ -51,7 +51,8 @@ func TestNetsimWorkersDeterministic(t *testing.T) {
 	for _, mode := range []Mode{ModeTCP, ModeUDPFrag} {
 		cfg := Config{Mode: mode, Trials: 2, Seed: 42}
 		var reports []string
-		for _, workers := range []int{1, 4} {
+		workerCounts := []int{1, 2, 8}
+		for _, workers := range workerCounts {
 			cfg.Workers = workers
 			tally, err := Run(context.Background(), fs, cfg)
 			if err != nil {
@@ -59,17 +60,20 @@ func TestNetsimWorkersDeterministic(t *testing.T) {
 			}
 			reports = append(reports, tally.Report())
 		}
-		if reports[0] != reports[1] {
-			t.Errorf("mode %s: report differs between workers=1 and workers=4:\n%s\n---\n%s",
-				mode, reports[0], reports[1])
+		for i := 1; i < len(reports); i++ {
+			if reports[0] != reports[i] {
+				t.Errorf("mode %s: report differs between workers=%d and workers=%d:\n%s\n---\n%s",
+					mode, workerCounts[0], workerCounts[i], reports[0], reports[i])
+			}
 		}
 	}
 }
 
 // TestNetsimAccountingInvariants pins the conservation laws every trial
 // must satisfy: every sent packet is delivered or lost, every delivered
-// candidate is intact or corrupted, and the layered receiver assigns
-// each candidate to exactly one outcome.
+// candidate is intact or corrupted under every placement, the layered
+// receiver assigns each candidate to exactly one outcome, and each
+// placement's per-algorithm verdicts partition its corrupted count.
 func TestNetsimAccountingInvariants(t *testing.T) {
 	w := sliceWalker{files: [][]byte{zeroHeavy(4096), varied(3000), {}, varied(100)}}
 	tally, err := Run(context.Background(), w, Config{Trials: 5, Seed: 7})
@@ -88,11 +92,42 @@ func TestNetsimAccountingInvariants(t *testing.T) {
 		if outcomes != c.PDUsDelivered {
 			t.Errorf("%s: pipeline outcomes %d != delivered %d", c.Name, outcomes, c.PDUsDelivered)
 		}
-		for _, a := range c.Algos {
-			if a.Detected+a.Undetected != c.Corrupted {
-				t.Errorf("%s/%s: detected %d + undetected %d != corrupted %d",
-					c.Name, a.Name, a.Detected, a.Undetected, c.Corrupted)
+		if len(c.Placements) != 2 {
+			t.Fatalf("%s: %d placements in a default ModeTCP run, want 2", c.Name, len(c.Placements))
+		}
+		for _, pl := range c.Placements {
+			if pl.Delivered != c.PDUsDelivered {
+				t.Errorf("%s/%s: placement delivered %d != channel delivered %d",
+					c.Name, pl.Name, pl.Delivered, c.PDUsDelivered)
 			}
+			if pl.Intact+pl.Corrupted != pl.Delivered {
+				t.Errorf("%s/%s: intact %d + corrupted %d != delivered %d",
+					c.Name, pl.Name, pl.Intact, pl.Corrupted, pl.Delivered)
+			}
+			for _, a := range pl.Algos {
+				if a.Detected+a.Undetected != pl.Corrupted {
+					t.Errorf("%s/%s/%s: detected %d + undetected %d != corrupted %d",
+						c.Name, pl.Name, a.Name, a.Detected, a.Undetected, pl.Corrupted)
+				}
+			}
+		}
+		e2e := c.Placement(PlaceE2E.String())
+		if e2e.Intact != c.Intact || e2e.Corrupted != c.Corrupted {
+			t.Errorf("%s: e2e placement (%d/%d) disagrees with channel counters (%d/%d)",
+				c.Name, e2e.Intact, e2e.Corrupted, c.Intact, c.Corrupted)
+		}
+		seg := c.Placement(PlaceSegment.String())
+		for _, pos := range []AlgoTally{seg.HeaderPos, seg.TrailerPos} {
+			if pos.Detected+pos.Undetected != seg.Corrupted {
+				t.Errorf("%s/%s: detected %d + undetected %d != segment corrupted %d",
+					c.Name, pos.Name, pos.Detected, pos.Undetected, seg.Corrupted)
+			}
+		}
+		// Damage visible at segment granularity is visible end to end:
+		// the segment span is a prefix of the PDU.
+		if seg.Corrupted > e2e.Corrupted {
+			t.Errorf("%s: segment placement saw %d corruptions but e2e only %d",
+				c.Name, seg.Corrupted, e2e.Corrupted)
 		}
 	}
 }
@@ -151,7 +186,7 @@ func TestNetsimReorderShape(t *testing.T) {
 	if c.Corrupted == 0 {
 		t.Fatal("reorder channel corrupted nothing; test is vacuous")
 	}
-	for _, a := range c.Algos {
+	for _, a := range c.Placement(PlaceE2E.String()).Algos {
 		switch a.Name {
 		case "tcp":
 			if a.Undetected != c.Corrupted {

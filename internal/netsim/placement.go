@@ -1,0 +1,77 @@
+package netsim
+
+import "sort"
+
+// Placement selects where a checksum notionally sits relative to the
+// transfer — the layered-checksum axis of the paper's §8–§10 and
+// Table 9.  The same delivered cell stream is scored under every
+// enabled placement, so the placements see identical fault patterns and
+// their undetected-error rates are directly comparable.
+type Placement int
+
+const (
+	// PlaceE2E scores each algorithm end to end over the reassembled
+	// byte stream of a delivered candidate: the whole AAL5 PDU (cell
+	// payloads, padding and trailer included) against the sent PDU its
+	// trailer claims.  This is the one-checksum-over-everything view —
+	// the placement the scorer measured exclusively before the axis
+	// existed.
+	PlaceE2E Placement = iota
+	// PlaceSegment scores each algorithm per TCP segment: the delivered
+	// candidate's bytes at the claimed segment's span (its first
+	// PacketLen bytes) against the sent segment's checksum.  A miss is
+	// counted when a delivered segment's received bytes collide with its
+	// sent checksum even though the bytes differ — the granularity at
+	// which TCP actually verifies and retransmits.  ModeTCP only; the
+	// fragments of ModeUDPFrag are not TCP segments.
+	PlaceSegment
+)
+
+// String returns the placement's registry name.
+func (p Placement) String() string {
+	if p == PlaceSegment {
+		return "segment"
+	}
+	return "e2e"
+}
+
+// AllPlacements lists every placement in battery order — the default
+// scoring set for ModeTCP.
+func AllPlacements() []Placement { return []Placement{PlaceE2E, PlaceSegment} }
+
+// PlacementNames lists the placement names in battery order — the valid
+// arguments to PlacementsByName and cmd/netsim -placement.
+func PlacementNames() []string {
+	all := AllPlacements()
+	names := make([]string, len(all))
+	for i, p := range all {
+		names[i] = p.String()
+	}
+	return names
+}
+
+// PlacementsByName filters AllPlacements down to a comma-separated
+// subset, preserving battery order.  Unknown names are reported,
+// sorted, so callers' error messages are stable run-to-run.
+func PlacementsByName(names []string) ([]Placement, []string) {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	var out []Placement
+	for _, p := range AllPlacements() {
+		if want[p.String()] {
+			out = append(out, p)
+			delete(want, p.String())
+		}
+	}
+	unknown := make([]string, 0, len(want))
+	for n := range want {
+		unknown = append(unknown, n)
+	}
+	sort.Strings(unknown)
+	if len(unknown) == 0 {
+		unknown = nil
+	}
+	return out, unknown
+}

@@ -7,9 +7,9 @@ import (
 	"realsum/internal/report"
 )
 
-// AlgoTally counts one algorithm's verdicts over the corrupted PDUs one
-// channel delivered.  Detected + Undetected always equals the channel's
-// Corrupted count.
+// AlgoTally counts one algorithm's verdicts over the corrupted
+// deliveries one (channel × placement) scored.  Detected + Undetected
+// always equals the placement's Corrupted count.
 type AlgoTally struct {
 	Name       string
 	Detected   uint64
@@ -22,6 +22,63 @@ func (a AlgoTally) MissRate() float64 {
 		return 0
 	}
 	return float64(a.Undetected) / float64(a.Detected+a.Undetected)
+}
+
+// PlacementTally scores every registry algorithm under one checksum
+// placement over one channel's deliveries.  The e2e placement's
+// Delivered/Intact/Corrupted mirror the channel-level candidate
+// counters; the segment placement counts at TCP-segment granularity,
+// where a candidate whose damage is confined to AAL5 padding or trailer
+// bytes is *intact* — the placement-blindness the paper's layered
+// discussion is about.
+type PlacementTally struct {
+	Name      string
+	Delivered uint64
+	Intact    uint64
+	Corrupted uint64
+	Algos     []AlgoTally
+
+	// HeaderPos and TrailerPos contrast the checksum field's position
+	// for the real TCP one's-complement sum (pseudo-header included),
+	// scored on the segment placement's corrupted deliveries only:
+	//
+	//   - HeaderPos reads the check value where TCP really carries it —
+	//     the stored field inside the received header bytes, which
+	//     shares fate with whatever packet's head arrived (§5.3).
+	//   - TrailerPos carries the claimed packet's sent check value with
+	//     the trailer cell, the way AAL5 carries its CRC — the Table 9
+	//     placement.
+	//
+	// Both compare against the sum recomputed over the received segment
+	// bytes, so a head-substitution splice (an intact wrong segment) is
+	// accepted by HeaderPos but rejected by TrailerPos.  Zero-valued for
+	// the e2e placement.
+	HeaderPos  AlgoTally
+	TrailerPos AlgoTally
+}
+
+func (p *PlacementTally) merge(o *PlacementTally) {
+	p.Delivered += o.Delivered
+	p.Intact += o.Intact
+	p.Corrupted += o.Corrupted
+	for i := range p.Algos {
+		p.Algos[i].Detected += o.Algos[i].Detected
+		p.Algos[i].Undetected += o.Algos[i].Undetected
+	}
+	p.HeaderPos.Detected += o.HeaderPos.Detected
+	p.HeaderPos.Undetected += o.HeaderPos.Undetected
+	p.TrailerPos.Detected += o.TrailerPos.Detected
+	p.TrailerPos.Undetected += o.TrailerPos.Undetected
+}
+
+// Algo returns the tally for the named algorithm under this placement.
+func (p *PlacementTally) Algo(name string) (AlgoTally, bool) {
+	for _, a := range p.Algos {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return AlgoTally{}, false
 }
 
 // PipelineTally counts the structural receiver outcomes — the layered
@@ -76,8 +133,8 @@ type ChannelTally struct {
 	Corrupted     uint64 // delivered differing from the claimed PDU
 	Lost          uint64 // packets whose trailer never arrived
 
-	Algos    []AlgoTally
-	Pipeline PipelineTally
+	Placements []PlacementTally
+	Pipeline   PipelineTally
 }
 
 func (c *ChannelTally) merge(o *ChannelTally) {
@@ -90,31 +147,60 @@ func (c *ChannelTally) merge(o *ChannelTally) {
 	c.Intact += o.Intact
 	c.Corrupted += o.Corrupted
 	c.Lost += o.Lost
-	for i := range c.Algos {
-		c.Algos[i].Detected += o.Algos[i].Detected
-		c.Algos[i].Undetected += o.Algos[i].Undetected
+	for i := range c.Placements {
+		c.Placements[i].merge(&o.Placements[i])
 	}
 	c.Pipeline.merge(&o.Pipeline)
 }
 
-// Tally is the merged result of a netsim run: per (channel × algorithm)
-// outcome counts.  Every field is an order-independent counter, so
-// Merge is commutative and the engine's sharded accumulation yields the
-// same Tally at any worker count.
+// Placement returns the tally for the named placement, or nil.
+func (c *ChannelTally) Placement(name string) *PlacementTally {
+	for i := range c.Placements {
+		if c.Placements[i].Name == name {
+			return &c.Placements[i]
+		}
+	}
+	return nil
+}
+
+// scoring returns the placement whose per-algorithm counts stand in for
+// the channel's headline scoring: e2e when enabled, else the first
+// placement configured.
+func (c *ChannelTally) scoring() *PlacementTally {
+	if p := c.Placement(PlaceE2E.String()); p != nil {
+		return p
+	}
+	if len(c.Placements) > 0 {
+		return &c.Placements[0]
+	}
+	return nil
+}
+
+// Tally is the merged result of a netsim run: per (channel × placement
+// × algorithm) outcome counts.  Every field is an order-independent
+// counter, so Merge is commutative and the engine's sharded
+// accumulation yields the same Tally at any worker count.
 type Tally struct {
 	Mode     string
 	Channels []ChannelTally
 }
 
-// newTally builds an empty tally shaped for the channel and algorithm
-// name lists.
-func newTally(mode string, channels, algos []string) *Tally {
+// newTally builds an empty tally shaped for the channel, algorithm and
+// placement name lists.
+func newTally(mode string, channels, algos, placements []string) *Tally {
 	t := &Tally{Mode: mode, Channels: make([]ChannelTally, len(channels))}
 	for i, cn := range channels {
 		t.Channels[i].Name = cn
-		t.Channels[i].Algos = make([]AlgoTally, len(algos))
-		for a, an := range algos {
-			t.Channels[i].Algos[a].Name = an
+		t.Channels[i].Placements = make([]PlacementTally, len(placements))
+		for pi, pn := range placements {
+			pt := &t.Channels[i].Placements[pi]
+			pt.Name = pn
+			pt.Algos = make([]AlgoTally, len(algos))
+			for a, an := range algos {
+				pt.Algos[a].Name = an
+			}
+			pt.HeaderPos.Name = "tcp@header"
+			pt.TrailerPos.Name = "tcp@trailer"
 		}
 	}
 	return t
@@ -128,6 +214,10 @@ func (t *Tally) Merge(o *Tally) {
 		panic(fmt.Sprintf("netsim: merging tallies with %d vs %d channels", len(t.Channels), len(o.Channels)))
 	}
 	for i := range t.Channels {
+		if len(t.Channels[i].Placements) != len(o.Channels[i].Placements) {
+			panic(fmt.Sprintf("netsim: merging channel %s with %d vs %d placements",
+				t.Channels[i].Name, len(t.Channels[i].Placements), len(o.Channels[i].Placements)))
+		}
 		t.Channels[i].merge(&o.Channels[i])
 	}
 }
@@ -143,7 +233,7 @@ func (t *Tally) Channel(name string) (*ChannelTally, bool) {
 }
 
 // Shape is one channel's §7 ranking summary: which algorithm missed the
-// most corrupted deliveries.
+// most corrupted deliveries (under the headline e2e placement).
 type Shape struct {
 	Channel         string
 	Corrupted       uint64
@@ -162,15 +252,17 @@ func (t *Tally) Shapes() []Shape {
 	for i := range t.Channels {
 		c := &t.Channels[i]
 		s := Shape{Channel: c.Name, Corrupted: c.Corrupted}
-		for _, a := range c.Algos {
-			if s.Weakest == "" || a.Undetected > s.WeakestUndetect {
-				s.Weakest, s.WeakestUndetect = a.Name, a.Undetected
-			}
-			switch a.Name {
-			case "crc32":
-				s.CRC32Undetected = a.Undetected
-			case "tcp":
-				s.TCPUndetected = a.Undetected
+		if p := c.scoring(); p != nil {
+			for _, a := range p.Algos {
+				if s.Weakest == "" || a.Undetected > s.WeakestUndetect {
+					s.Weakest, s.WeakestUndetect = a.Name, a.Undetected
+				}
+				switch a.Name {
+				case "crc32":
+					s.CRC32Undetected = a.Undetected
+				case "tcp":
+					s.TCPUndetected = a.Undetected
+				}
 			}
 		}
 		out = append(out, s)
@@ -179,7 +271,8 @@ func (t *Tally) Shapes() []Shape {
 }
 
 // Report renders the tally: a channel summary table, a per-algorithm
-// miss table per channel, and the shape-claim lines the tests pin.
+// miss table per (channel × placement), the placement contrast section,
+// and the shape- and placement-claim lines the tests pin.
 func (t *Tally) Report() string {
 	var b strings.Builder
 
@@ -200,22 +293,50 @@ func (t *Tally) Report() string {
 
 	for i := range t.Channels {
 		c := &t.Channels[i]
-		at := report.Table{
-			Title:   fmt.Sprintf("netsim %s · %s: undetected corruptions per algorithm (%s corrupted PDUs)", t.Mode, c.Name, report.Count(c.Corrupted)),
-			Headers: []string{"algorithm", "detected", "undetected", "miss rate"},
+		for pi := range c.Placements {
+			p := &c.Placements[pi]
+			at := report.Table{
+				Headers: []string{"algorithm", "detected", "undetected", "miss rate"},
+			}
+			if p.Name == PlaceE2E.String() {
+				at.Title = fmt.Sprintf("netsim %s · %s: undetected corruptions per algorithm (%s corrupted PDUs)",
+					t.Mode, c.Name, report.Count(p.Corrupted))
+			} else {
+				at.Title = fmt.Sprintf("netsim %s · %s: undetected corruptions per algorithm, per-segment placement (%s corrupted segments)",
+					t.Mode, c.Name, report.Count(p.Corrupted))
+			}
+			for _, a := range p.Algos {
+				at.AddRow(a.Name, report.Count(a.Detected), report.Count(a.Undetected), report.Percent(a.MissRate()))
+			}
+			if p.Name == PlaceSegment.String() {
+				for _, a := range []AlgoTally{p.HeaderPos, p.TrailerPos} {
+					at.AddRow(a.Name, report.Count(a.Detected), report.Count(a.Undetected), report.Percent(a.MissRate()))
+				}
+			}
+			b.WriteString(at.Render())
+			b.WriteByte('\n')
 		}
-		for _, a := range c.Algos {
-			at.AddRow(a.Name, report.Count(a.Detected), report.Count(a.Undetected), report.Percent(a.MissRate()))
-		}
-		b.WriteString(at.Render())
-		b.WriteByte('\n')
 	}
 
 	b.WriteString(t.lossContrastReport())
+	b.WriteString(t.placementContrastReport())
 	b.WriteString(t.pipelineReport())
 	for _, s := range t.Shapes() {
 		fmt.Fprintf(&b, "shape[%s/%s]: corrupted=%d weakest=%s(%d) tcp=%d crc32=%d\n",
 			t.Mode, s.Channel, s.Corrupted, s.Weakest, s.WeakestUndetect, s.TCPUndetected, s.CRC32Undetected)
+	}
+	for i := range t.Channels {
+		c := &t.Channels[i]
+		seg := c.Placement(PlaceSegment.String())
+		if seg == nil {
+			continue
+		}
+		tcp, _ := seg.Algo("tcp")
+		f255, _ := seg.Algo("f255")
+		crc, _ := seg.Algo("crc32")
+		fmt.Fprintf(&b, "placement[%s/%s]: seg_corrupted=%d tcp=%d f255=%d crc32=%d header=%d trailer=%d\n",
+			t.Mode, c.Name, seg.Corrupted, tcp.Undetected, f255.Undetected, crc.Undetected,
+			seg.HeaderPos.Undetected, seg.TrailerPos.Undetected)
 	}
 	return b.String()
 }
@@ -247,12 +368,14 @@ func (t *Tally) lossContrastReport() string {
 			loss = 1 - float64(c.CellsDelivered)/float64(c.CellsSent)
 		}
 		var tcpMiss, crcMiss uint64
-		for _, a := range c.Algos {
-			switch a.Name {
-			case "tcp":
-				tcpMiss = a.Undetected
-			case "crc32":
-				crcMiss = a.Undetected
+		if p := c.scoring(); p != nil {
+			for _, a := range p.Algos {
+				switch a.Name {
+				case "tcp":
+					tcpMiss = a.Undetected
+				case "crc32":
+					crcMiss = a.Undetected
+				}
 			}
 		}
 		p := &c.Pipeline
@@ -260,6 +383,46 @@ func (t *Tally) lossContrastReport() string {
 			report.Count(p.Framing), report.Count(p.CRC), report.Count(p.Header),
 			report.Count(p.Checksum), report.Count(p.AcceptedCorrupt),
 			report.Count(tcpMiss), report.Count(crcMiss))
+	}
+	return tb.Render() + "\n"
+}
+
+// placementContrastReport renders the end-to-end vs per-segment
+// placement contrast — the Table 9 axis measured by injection.  One row
+// per channel: how many deliveries each placement saw as corrupted, the
+// bellwether algorithms' misses under each, and the TCP sum's
+// header-vs-trailer position misses on the per-segment corruptions.
+// Rendered only when both placements were scored.
+func (t *Tally) placementContrastReport() string {
+	type pair struct{ c *ChannelTally }
+	var rows []pair
+	for i := range t.Channels {
+		c := &t.Channels[i]
+		if c.Placement(PlaceE2E.String()) != nil && c.Placement(PlaceSegment.String()) != nil {
+			rows = append(rows, pair{c})
+		}
+	}
+	if len(rows) == 0 {
+		return ""
+	}
+	tb := report.Table{
+		Title: fmt.Sprintf("netsim %s: end-to-end vs per-segment checksum placement", t.Mode),
+		Headers: []string{"channel", "e2e corrupt", "e2e tcp", "e2e crc32",
+			"seg corrupt", "seg tcp", "seg f255", "seg crc32", "tcp@header", "tcp@trailer"},
+	}
+	for _, r := range rows {
+		e2e := r.c.Placement(PlaceE2E.String())
+		seg := r.c.Placement(PlaceSegment.String())
+		e2eTCP, _ := e2e.Algo("tcp")
+		e2eCRC, _ := e2e.Algo("crc32")
+		segTCP, _ := seg.Algo("tcp")
+		segF255, _ := seg.Algo("f255")
+		segCRC, _ := seg.Algo("crc32")
+		tb.AddRow(r.c.Name,
+			report.Count(e2e.Corrupted), report.Count(e2eTCP.Undetected), report.Count(e2eCRC.Undetected),
+			report.Count(seg.Corrupted), report.Count(segTCP.Undetected), report.Count(segF255.Undetected),
+			report.Count(segCRC.Undetected),
+			report.Count(seg.HeaderPos.Undetected), report.Count(seg.TrailerPos.Undetected))
 	}
 	return tb.Render() + "\n"
 }

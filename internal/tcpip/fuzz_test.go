@@ -1,0 +1,92 @@
+package tcpip
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzVerifyAltSegment drives the RFC 1146 verifier three ways per
+// input: raw bytes (must never panic), a fuzzed option area behind a
+// structurally plausible header (must never panic), and a
+// BuildAltSegment round trip (must verify, and must reject any
+// single-byte payload mutation as the built algorithm).
+//
+// Two documented exemptions bound the rejection invariant:
+//
+//   - Fletcher mod 255 cannot distinguish 0x00 from 0xFF (both are 0 mod
+//     255 and the weighted sum scales the same zero), so an 0x00↔0xFF
+//     byte swap in an AltSumFletcher8 segment MUST be accepted — the
+//     blind spot is asserted, not skipped.
+//   - The verifier is negotiationless: a mutated segment may, with
+//     probability ~2⁻¹⁶, verify under one of the OTHER algorithms it
+//     tries.  That is aliasing between checks, not a missed error of the
+//     built check, so the invariant is "never ok under the built
+//     algorithm" rather than "never ok".
+func FuzzVerifyAltSegment(f *testing.F) {
+	f.Add(byte(0), []byte("hello, alternate checksum"), []byte{}, []byte{}, uint16(0), byte(0x40))
+	f.Add(byte(1), []byte{0x00, 0xFF, 0x00, 0x41}, []byte{OptNOP, OptNOP}, []byte("raw"), uint16(0), byte(0xFF))
+	f.Add(byte(2), bytes.Repeat([]byte{0}, 64), []byte{OptAltCkData, 4, 0, 0}, bytes.Repeat([]byte{0xFF}, 41), uint16(9), byte(1))
+	f.Add(byte(1), []byte{0xFF}, []byte{OptMSS, 4, 5, 0xB4}, []byte{0x50}, uint16(0), byte(0xFF))
+	f.Add(byte(0), []byte{}, []byte{OptAltCkData, 1}, bytes.Repeat([]byte{0x55}, 60), uint16(7), byte(0))
+
+	src := [4]byte{127, 0, 0, 1}
+	dst := [4]byte{127, 0, 0, 1}
+
+	f.Fuzz(func(t *testing.T, algSel byte, payload, optArea, raw []byte, mutOff uint16, mutXor byte) {
+		// 1. Arbitrary bytes: no panic, whatever the verdict.
+		VerifyAltSegment(src, dst, raw)
+
+		// 2. Fuzzed option area behind a plausible fixed header whose
+		// data offset spans it: no panic, whatever the verdict.
+		if len(optArea) > 40 {
+			optArea = optArea[:40]
+		}
+		nw := (len(optArea) + 3) / 4 * 4
+		optSeg := make([]byte, optFixedHeader+nw+len(payload)%64)
+		hdr := TCPHeader{SrcPort: 20, DstPort: 1234, Seq: 1, Ack: 1, Flags: FlagACK, Window: 8760}
+		hdr.SerializeTo(optSeg)
+		optSeg[12] = byte((optFixedHeader+nw)/4) << 4
+		copy(optSeg[optFixedHeader:], optArea)
+		VerifyAltSegment(src, dst, optSeg)
+
+		// 3. Build/verify round trip.
+		if len(payload) > 4096 {
+			payload = payload[:4096]
+		}
+		alg := int(algSel) % 3
+		seg, err := BuildAltSegment(src, dst, hdr, alg, payload)
+		if err != nil {
+			t.Fatalf("BuildAltSegment(alg=%d, %d bytes): %v", alg, len(payload), err)
+		}
+		got, ok, err := VerifyAltSegment(src, dst, seg)
+		if err != nil || !ok {
+			t.Fatalf("round trip alg=%d: got=%d ok=%v err=%v", alg, got, ok, err)
+		}
+		// AltSumFletcher8 segments may alias to a valid standard sum,
+		// which the verifier tries first; every other build must be
+		// recognized exactly.
+		if got != alg && !(alg == AltSumFletcher8 && got == AltSumTCP) {
+			t.Fatalf("round trip alg=%d recognized as %d", alg, got)
+		}
+
+		// 4. Single-byte payload mutation.
+		if len(payload) == 0 || mutXor == 0 {
+			return
+		}
+		off := len(seg) - len(payload) + int(mutOff)%len(payload)
+		mut := append([]byte(nil), seg...)
+		mut[off] ^= mutXor
+		mgot, mok, _ := VerifyAltSegment(src, dst, mut)
+		blind := alg == AltSumFletcher8 && mutXor == 0xFF &&
+			(seg[off] == 0x00 || seg[off] == 0xFF)
+		if blind {
+			if !mok || mgot != AltSumFletcher8 {
+				t.Errorf("Fletcher-255 0x00↔0xFF blind spot at offset %d: got=%d ok=%v, want accepted", off, mgot, mok)
+			}
+			return
+		}
+		if mok && mgot == alg {
+			t.Errorf("alg=%d accepted a single-byte mutation (offset %d, xor %#02x)", alg, off, mutXor)
+		}
+	})
+}

@@ -1,0 +1,51 @@
+package tcpip
+
+import (
+	"realsum/internal/inet"
+	"realsum/internal/onescomp"
+)
+
+// SegmentCheckValue extracts the per-segment TCP check material the
+// netsim placement scorer contrasts: from a candidate packet's received
+// bytes it returns the checksum value the packet carries in its header
+// field (stored) and the value the field *should* hold for those bytes
+// (want — the Internet checksum over pseudo-header and segment with the
+// stored field's contribution removed).
+//
+// The two readings give the paper's header-vs-trailer position contrast
+// without a second transmission: a header-placed check compares stored
+// against want, because the field rides inside the bytes being checked
+// and shares fate with the segment's head cells; a trailer-placed check
+// compares the claimed sender's transmitted field value (carried with
+// the trailer, the way AAL5 carries its CRC) against the same want.
+//
+// ok is false when the bytes cannot carry the field at all — shorter
+// than the fixed 40-byte header pair, or an IP header too mangled to
+// locate the segment (bad version/IHL).  Such candidates never reach a
+// checksum comparison in a real receiver; the caller should count them
+// as structurally detected under either position.
+func SegmentCheckValue(pkt []byte) (stored, want uint16, ok bool) {
+	if len(pkt) < HeadersLen {
+		return 0, 0, false
+	}
+	var ip IPv4Header
+	if ip.DecodeFromBytes(pkt) != nil {
+		return 0, 0, false
+	}
+	seg := pkt[IPv4HeaderLen:]
+	stored = getU16(seg[16:])
+	// The field sits at even segment offset 16, so its contribution to
+	// the word-wise sum is the value itself — no parity swap (contrast
+	// VerifyPacket's trailer-mode handling).
+	sum := onescomp.Add(PseudoHeaderSum(ip.Src, ip.Dst, len(seg)), inet.Sum(seg))
+	sum = onescomp.Sub(sum, stored)
+	return stored, onescomp.Neg(sum), true
+}
+
+// StoredTCPChecksum reads the TCP header checksum field from a complete
+// sent packet — the value the sender transmitted, which the netsim
+// trailer-position scoring carries alongside the AAL5 trailer.  The
+// packet must be at least HeadersLen bytes (the builder guarantees it).
+func StoredTCPChecksum(pkt []byte) uint16 {
+	return getU16(pkt[IPv4HeaderLen+16:])
+}

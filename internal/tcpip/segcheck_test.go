@@ -1,0 +1,86 @@
+package tcpip
+
+import (
+	"testing"
+
+	"realsum/internal/onescomp"
+)
+
+func buildFlowPackets(t *testing.T, payloads [][]byte) [][]byte {
+	t.Helper()
+	flow := NewLoopbackFlow(BuildOptions{})
+	pkts := make([][]byte, len(payloads))
+	for i, p := range payloads {
+		pkts[i] = flow.NextPacket(nil, p)
+	}
+	return pkts
+}
+
+func TestSegmentCheckValueIntact(t *testing.T) {
+	pkts := buildFlowPackets(t, [][]byte{make([]byte, 256), []byte("hello, segment"), {}})
+	for i, pkt := range pkts {
+		stored, want, ok := SegmentCheckValue(pkt)
+		if !ok {
+			t.Fatalf("packet %d: ok=false for an intact packet", i)
+		}
+		if stored != StoredTCPChecksum(pkt) {
+			t.Fatalf("packet %d: stored=%#04x but StoredTCPChecksum=%#04x", i, stored, StoredTCPChecksum(pkt))
+		}
+		if !onescomp.Congruent(stored, want) {
+			t.Fatalf("packet %d: intact packet not self-consistent: stored=%#04x want=%#04x", i, stored, want)
+		}
+	}
+}
+
+func TestSegmentCheckValueDetectsPayloadFlip(t *testing.T) {
+	pkt := buildFlowPackets(t, [][]byte{make([]byte, 64)})[0]
+	for _, off := range []int{HeadersLen, HeadersLen + 13, len(pkt) - 1} {
+		mut := append([]byte(nil), pkt...)
+		mut[off] ^= 0x40
+		stored, want, ok := SegmentCheckValue(mut)
+		if !ok {
+			t.Fatalf("offset %d: ok=false", off)
+		}
+		if onescomp.Congruent(stored, want) {
+			t.Fatalf("offset %d: payload flip not reflected in want (stored=%#04x)", off, stored)
+		}
+	}
+}
+
+// TestSegmentCheckValueHeadSubstitution is the mechanism behind the
+// paper's Table 9 claim: when a splice delivers packet j's bytes under
+// packet k's identity, the header-placed field (inside j's bytes) still
+// matches the recomputed sum, while k's transmitted field — the
+// trailer-placed reading — does not.
+func TestSegmentCheckValueHeadSubstitution(t *testing.T) {
+	// Zero payloads: the segments differ only in their sequence numbers
+	// and checksum fields, the worst case for content-derived checks.
+	pkts := buildFlowPackets(t, [][]byte{make([]byte, 256), make([]byte, 256)})
+	j, k := pkts[0], pkts[1]
+
+	stored, want, ok := SegmentCheckValue(j)
+	if !ok {
+		t.Fatal("ok=false for a complete packet")
+	}
+	if !onescomp.Congruent(stored, want) {
+		t.Fatalf("header-placed check should accept j's own bytes: stored=%#04x want=%#04x", stored, want)
+	}
+	if onescomp.Congruent(StoredTCPChecksum(k), want) {
+		t.Fatalf("trailer-placed check (k's sent field %#04x) should reject j's bytes (want %#04x)",
+			StoredTCPChecksum(k), want)
+	}
+}
+
+func TestSegmentCheckValueStructuralReject(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		make([]byte, HeadersLen-1),
+		append([]byte{0x60}, make([]byte, HeadersLen)...), // IP version 6
+		append([]byte{0x46}, make([]byte, HeadersLen)...), // IHL 6 words
+	}
+	for i, pkt := range cases {
+		if _, _, ok := SegmentCheckValue(pkt); ok {
+			t.Fatalf("case %d: ok=true for structurally invalid bytes", i)
+		}
+	}
+}

@@ -14,6 +14,12 @@ go build ./...
 echo "== go test =="
 go test ./...
 
+echo "== fuzz seed-corpus smoke =="
+# Runs every Fuzz target over its f.Add seeds plus the checked-in
+# testdata corpora in normal (non-fuzzing) mode.  `go test -fuzz` only
+# accepts a single package, so the smoke uses -run across the tree.
+go test -count=1 -run Fuzz ./...
+
 echo "== go test -race (sim, splice, netsim) =="
 go test -race ./internal/sim/... ./internal/splice/... ./internal/netsim/...
 
@@ -32,6 +38,8 @@ for ch in drop-ge drop-burst dup; do
 done
 grep -q "i.i.d. vs correlated cell loss at matched average rate" "$tmp/netsim.w1" \
     || { echo "netsim report missing the loss-contrast section"; exit 1; }
+grep -q "end-to-end vs per-segment checksum placement" "$tmp/netsim.w1" \
+    || { echo "netsim report missing the placement-contrast section"; exit 1; }
 
 echo "== netsim -dir corpus walk pin (internal/onescomp, -race) =="
 # A real-directory-tree run over a small stable in-repo tree, with its
@@ -47,6 +55,17 @@ shape[tcp/drop-ge]: corrupted=4 weakest=tcp(0) tcp=0 crc32=0
 shape[tcp/drop-burst]: corrupted=1 weakest=tcp(0) tcp=0 crc32=0
 shape[tcp/dup]: corrupted=54 weakest=tcp(0) tcp=0 crc32=0
 SHAPES
+# The per-segment placement lines are pinned the same way.  dup's
+# seg_corrupted=53 < corrupted=54 is the prefix invariant: a delivered
+# segment is the PDU prefix at the claimed length, so a PDU corrupted
+# only past that prefix counts e2e but not per-segment.
+grep "^placement" "$tmp/netsim.dir" > "$tmp/netsim.dir.placements"
+diff - "$tmp/netsim.dir.placements" <<'PLACEMENTS' || { echo "netsim -dir placement lines changed"; exit 1; }
+placement[tcp/drop]: seg_corrupted=4 tcp=0 f255=0 crc32=0 header=0 trailer=0
+placement[tcp/drop-ge]: seg_corrupted=4 tcp=0 f255=0 crc32=0 header=0 trailer=0
+placement[tcp/drop-burst]: seg_corrupted=1 tcp=0 f255=0 crc32=0 header=0 trailer=0
+placement[tcp/dup]: seg_corrupted=53 tcp=0 f255=0 crc32=0 header=0 trailer=0
+PLACEMENTS
 
 echo "== bench smoke (splice + dist + netsim, scale 0.02) =="
 go run ./cmd/paper -benchjson "$tmp/BENCH_splice.json" -scale 0.02 -benchiters 1
