@@ -9,6 +9,7 @@
 //	paper -benchjson BENCH_splice.json [-scale 0.05] [-benchiters 3]
 //	paper -benchdistjson BENCH_dist.json [-scale 0.05] [-benchiters 3]
 //	paper -benchnetsimjson BENCH_netsim.json [-scale 0.05] [-benchiters 3] [-placement e2e,segment]
+//	paper -benchalgojson BENCH_algo.json [-benchiters 3] [-kernel nguyen]
 //
 // With no -run flag every experiment runs in paper order.  The -scale
 // flag multiplies the corpus sizes (1.0 ≈ a few MB per file system; the
@@ -42,6 +43,14 @@
 // repository's performance trajectory.  -benchdistjson does the same
 // for the distribution passes (Figures 2–3, Tables 4–5), at one worker
 // and at GOMAXPROCS workers so the records carry the parallel speedup.
+// -benchalgojson times every registry algorithm's one-shot checksum at
+// cell, MTU and bulk sizes, recording the raced CRC kernel and its
+// speedup over the slicing-by-8 baseline.
+//
+// -kernel pins the CRC bulk engine (slicing8, scalar, chorba, nguyen,
+// or auto) for every table the run builds, overriding the verified
+// per-algorithm race — the reproducibility knob for comparing kernel
+// generations on the same hardware.
 package main
 
 import (
@@ -53,6 +62,8 @@ import (
 	"strings"
 	"time"
 
+	"realsum/internal/algo"
+	"realsum/internal/crc"
 	"realsum/internal/experiments"
 	"realsum/internal/netsim"
 	"realsum/internal/sim"
@@ -70,13 +81,26 @@ func main() {
 	benchdistjson := flag.String("benchdistjson", "", "time the Figure 2–3 / Table 4–5 distribution passes and write records (incl. parallel speedup) to this file (e.g. BENCH_dist.json), then exit")
 	benchnetsimjson := flag.String("benchnetsimjson", "", "time the netsim fault-injection pipeline per (fault model × checksum placement) and write trials/sec, MB/s and allocs/trial records to this file (e.g. BENCH_netsim.json), then exit")
 	placement := flag.String("placement", "", "comma-separated checksum placements for -benchnetsimjson (default: all of "+strings.Join(netsim.PlacementNames(), ",")+")")
+	benchalgojson := flag.String("benchalgojson", "", "time every registry algorithm's one-shot checksum at cell/MTU/bulk sizes and write ns/op, GB/s, allocs/op and kernel-speedup records to this file (e.g. BENCH_algo.json), then exit")
+	kernel := flag.String("kernel", "", "force the CRC bulk kernel for the whole run (one of "+strings.Join(crc.KernelNames(), ", ")+", or auto; default: verified per-algorithm racing)")
 	benchIters := flag.Int("benchiters", 3, "iterations per -benchjson/-benchdistjson record")
 	flag.Parse()
+
+	if *kernel != "" {
+		// SetCRCKernel repoints (and validates against) the registry
+		// algorithms built at init; the environment variable carries the
+		// choice to every table the experiments construct afterwards.
+		if err := algo.SetCRCKernel(*kernel); err != nil {
+			fmt.Fprintf(os.Stderr, "paper: %v\n", err)
+			os.Exit(2)
+		}
+		os.Setenv(crc.KernelEnv, *kernel)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	if *benchjson != "" || *benchdistjson != "" || *benchnetsimjson != "" {
+	if *benchjson != "" || *benchdistjson != "" || *benchnetsimjson != "" || *benchalgojson != "" {
 		if *benchjson != "" {
 			if err := runBenchJSON(ctx, *benchjson, *scale, *benchIters); err != nil {
 				fmt.Fprintf(os.Stderr, "paper: benchjson: %v\n", err)
@@ -102,6 +126,12 @@ func main() {
 			}
 			if err := runBenchNetsimJSON(ctx, *benchnetsimjson, *scale, *seed, *benchIters, placements); err != nil {
 				fmt.Fprintf(os.Stderr, "paper: benchnetsimjson: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *benchalgojson != "" {
+			if err := runBenchAlgoJSON(*benchalgojson, *benchIters); err != nil {
+				fmt.Fprintf(os.Stderr, "paper: benchalgojson: %v\n", err)
 				os.Exit(1)
 			}
 		}

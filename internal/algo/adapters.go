@@ -29,9 +29,9 @@ func init() {
 
 type tcpAlgo struct{}
 
-func (tcpAlgo) Name() string  { return "tcp" }
-func (tcpAlgo) Width() int    { return 16 }
-func (tcpAlgo) New() Digest   { return &tcpDigest{d: inet.New()} }
+func (tcpAlgo) Name() string { return "tcp" }
+func (tcpAlgo) Width() int   { return 16 }
+func (tcpAlgo) New() Digest  { return &tcpDigest{d: inet.New()} }
 func (tcpAlgo) Sum(data []byte) uint64 {
 	return uint64(inet.Checksum(data))
 }
@@ -63,9 +63,9 @@ type fletcherAlgo struct {
 	space float64
 }
 
-func (f fletcherAlgo) Name() string  { return f.name }
-func (fletcherAlgo) Width() int      { return 16 }
-func (f fletcherAlgo) New() Digest   { return &fletcherDigest{d: fletcher.New(f.m)} }
+func (f fletcherAlgo) Name() string { return f.name }
+func (fletcherAlgo) Width() int     { return 16 }
+func (f fletcherAlgo) New() Digest  { return &fletcherDigest{d: fletcher.New(f.m)} }
 func (f fletcherAlgo) Sum(data []byte) uint64 {
 	return uint64(f.m.Sum(data).Checksum16())
 }
@@ -159,11 +159,11 @@ func (d *fletcher32Digest) Reset() { *d = fletcher32Digest{} }
 
 type adlerAlgo struct{}
 
-func (adlerAlgo) Name() string            { return "adler32" }
-func (adlerAlgo) Width() int              { return 32 }
-func (adlerAlgo) New() Digest             { return &adlerDigest{d: adler.New()} }
-func (adlerAlgo) Sum(data []byte) uint64  { return uint64(adler.Checksum(data)) }
-func (adlerAlgo) UniformP() float64       { return 1.0 / (1 << 32) }
+func (adlerAlgo) Name() string           { return "adler32" }
+func (adlerAlgo) Width() int             { return 32 }
+func (adlerAlgo) New() Digest            { return &adlerDigest{d: adler.New()} }
+func (adlerAlgo) Sum(data []byte) uint64 { return uint64(adler.Checksum(data)) }
+func (adlerAlgo) UniformP() float64      { return 1.0 / (1 << 32) }
 func (adlerAlgo) Combine(a, b uint64, lenA, lenB int) uint64 {
 	return uint64(adler.Combine(uint32(a), uint32(b), lenB))
 }
@@ -212,6 +212,12 @@ func (c crcAlgo) UniformP() float64 {
 func (c crcAlgo) Combine(a, b uint64, lenA, lenB int) uint64 {
 	return c.t.Combine(a, b, lenB)
 }
+
+// Kernel, Kernels and SetKernel expose the table's bulk-engine layer —
+// the KernelControl surface SetCRCKernel and the -kernel flags drive.
+func (c crcAlgo) Kernel() string              { return c.t.Kernel() }
+func (c crcAlgo) Kernels() []string           { return c.t.Kernels() }
+func (c crcAlgo) SetKernel(name string) error { return c.t.SetKernel(name) }
 
 type crcDigest struct{ d *crc.Digest }
 

@@ -99,6 +99,86 @@ func TestDigestMatchesSum(t *testing.T) {
 	}
 }
 
+// TestSumHelper pins the package-level one-shot helper to the method it
+// wraps, for every registry algorithm.
+func TestSumHelper(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	for _, n := range []int{0, 9, 64, 1500, 5000, 64 << 10} {
+		data := randData(rng, n)
+		for _, a := range All() {
+			if got, want := Sum(a, data), a.Sum(data); got != want {
+				t.Errorf("%s n=%d: Sum helper %#x != method %#x", a.Name(), n, got, want)
+			}
+		}
+	}
+}
+
+// TestSumZeroAlloc pins the hot-loop contract netsim's per-segment
+// scoring relies on: once kernels and pools are warm, Sum allocates
+// nothing for any registry algorithm at cell, MTU and bulk sizes.
+func TestSumZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool randomly drops Puts under the race detector, so alloc counts are not meaningful")
+	}
+	rng := rand.New(rand.NewPCG(5, 5))
+	data := randData(rng, 64<<10)
+	var sink uint64
+	for _, a := range All() {
+		for _, n := range []int{48, 1500, 64 << 10} {
+			d := data[:n]
+			sink ^= Sum(a, d) // warm kernel scratch pools
+			allocs := testing.AllocsPerRun(20, func() {
+				sink ^= Sum(a, d)
+			})
+			if allocs > 0 {
+				t.Errorf("%s n=%d: %.1f allocs per Sum, want 0", a.Name(), n, allocs)
+			}
+		}
+	}
+	_ = sink
+}
+
+// TestKernelControl covers the registry-wide kernel override: CRC
+// algorithms expose KernelControl, checksums do not, SetCRCKernel
+// applies a forced kernel (falling back to slicing-by-8 where the
+// parameterization lacks it) and "auto" restores racing — with the
+// checksum value unchanged throughout.
+func TestKernelControl(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	data := randData(rng, 8192)
+	want := map[string]uint64{}
+	for _, a := range All() {
+		want[a.Name()] = a.Sum(data)
+	}
+	if _, ok := MustLookup("crc32").(KernelControl); !ok {
+		t.Fatal("crc32 does not implement KernelControl")
+	}
+	if _, ok := MustLookup("tcp").(KernelControl); ok {
+		t.Fatal("tcp implements KernelControl")
+	}
+	if err := SetCRCKernel("bogus"); err == nil {
+		t.Error("SetCRCKernel(bogus) succeeded")
+	}
+	for _, kn := range append(crc.KernelNames(), "auto") {
+		if err := SetCRCKernel(kn); err != nil {
+			t.Fatalf("SetCRCKernel(%s): %v", kn, err)
+		}
+		if kn == "nguyen" {
+			if got := MustLookup("crc32").(KernelControl).Kernel(); got != "nguyen" {
+				t.Errorf("crc32 kernel = %s after SetCRCKernel(nguyen)", got)
+			}
+			if got := MustLookup("crc16").(KernelControl).Kernel(); got != "slicing8" {
+				t.Errorf("crc16 kernel = %s after SetCRCKernel(nguyen), want slicing8 fallback", got)
+			}
+		}
+		for _, a := range All() {
+			if got := a.Sum(data); got != want[a.Name()] {
+				t.Errorf("%s under kernel %s: Sum %#x != %#x", a.Name(), kn, got, want[a.Name()])
+			}
+		}
+	}
+}
+
 // TestCombinerMatchesDirect checks the O(1) recombination law for every
 // algorithm that claims it: Sum(A‖B) from Sum(A), Sum(B) and lengths,
 // over random data and split points including odd-length A (the TCP

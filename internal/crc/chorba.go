@@ -1,0 +1,162 @@
+package crc
+
+import "encoding/binary"
+
+// Chorba-style table-free CRC kernel (after "Chorba: A novel CRC32
+// implementation", arXiv:2412.16398): instead of looking the register
+// up in sliced tables, the message itself is used as the accumulator.
+// Each 64-bit word is deleted from the stream and XORed into a handful
+// of strictly-later positions given by a sparse multiple of the
+// generator (see sparse.go) — a pure shift-fold with no table traffic
+// in the bulk loop.
+//
+// The fold runs in two stages over a scratch copy of the input.  The
+// bulk stage reads the exponent list at word granularity (the Frobenius
+// lift), so every load and store is a word-aligned 64-bit operation;
+// its reach is span words.  The last ≈ span·8 bytes, too short for the
+// word identity, are reduced by the same fold at byte granularity
+// (reach span bytes), and the surviving ≈ span-byte tail goes through
+// the byte-at-a-time table.
+//
+// The incoming register is folded into the stream head first (the
+// zero-padding trick the slicing path also relies on: processing 8
+// bytes from register R equals processing those bytes XOR R from a
+// zero register), so the whole fold runs over the homogeneous part.
+func (t *Table) chorba(reg uint64, data []byte) uint64 {
+	sp := t.sp
+	bp := sp.bufPool.Get().(*[]byte)
+	buf := append((*bp)[:0], data...)
+	*bp = buf
+	t.xorHead(buf, reg)
+	i := sp.foldWords(buf)
+	i += sp.fold(buf[i:])
+	reg = t.updateScalar(0, buf[i:])
+	sp.bufPool.Put(bp)
+	return reg
+}
+
+// xorHead folds a raw register into the first 8 bytes of buf, in the
+// byte placement the engine's alignment dictates: a reflected register
+// occupies the low bytes (little-endian), a left-aligned one the high
+// bytes (big-endian) — exactly the v = reg ^ load(data) identity the
+// slicing path uses.
+func (t *Table) xorHead(buf []byte, reg uint64) {
+	if t.params.RefIn {
+		binary.LittleEndian.PutUint64(buf, binary.LittleEndian.Uint64(buf)^reg)
+	} else {
+		binary.BigEndian.PutUint64(buf, binary.BigEndian.Uint64(buf)^reg)
+	}
+}
+
+// xor64 XORs w into 8 bytes of b.  Loading and storing little-endian
+// makes this a plain byte-wise XOR regardless of host endianness.
+func xor64(b []byte, w uint64) {
+	binary.LittleEndian.PutUint64(b, binary.LittleEndian.Uint64(b)^w)
+}
+
+// foldWords applies the sparse-multiple rewrite at word granularity —
+// offsets of offs[j]·8 bytes, so consuming words at multiples of 8
+// keeps every access word-aligned — and returns the index where the
+// word identity can no longer reach.  Bytes before the returned index
+// have been consumed: their CRC contribution now lives entirely in the
+// bytes after it.  Two words per iteration; the smallest word offset
+// (≥ 65 words for the catalogued lists) guarantees the second read is
+// untouched by the first word's stores.
+func (sp *sparseKernel) foldWords(buf []byte) int {
+	n := len(buf)
+	i := 0
+	switch len(sp.offs) {
+	case 4:
+		o0, o1, o2, o3 := sp.offs[0]*8, sp.offs[1]*8, sp.offs[2]*8, sp.offs[3]*8
+		for ; i+o3+16 <= n; i += 16 {
+			w := binary.LittleEndian.Uint64(buf[i:])
+			xor64(buf[i+o0:], w)
+			xor64(buf[i+o1:], w)
+			xor64(buf[i+o2:], w)
+			xor64(buf[i+o3:], w)
+			w = binary.LittleEndian.Uint64(buf[i+8:])
+			xor64(buf[i+8+o0:], w)
+			xor64(buf[i+8+o1:], w)
+			xor64(buf[i+8+o2:], w)
+			xor64(buf[i+8+o3:], w)
+		}
+		for ; i+o3+8 <= n; i += 8 {
+			w := binary.LittleEndian.Uint64(buf[i:])
+			xor64(buf[i+o0:], w)
+			xor64(buf[i+o1:], w)
+			xor64(buf[i+o2:], w)
+			xor64(buf[i+o3:], w)
+		}
+	case 5:
+		o0, o1, o2, o3, o4 := sp.offs[0]*8, sp.offs[1]*8, sp.offs[2]*8, sp.offs[3]*8, sp.offs[4]*8
+		for ; i+o4+16 <= n; i += 16 {
+			w := binary.LittleEndian.Uint64(buf[i:])
+			xor64(buf[i+o0:], w)
+			xor64(buf[i+o1:], w)
+			xor64(buf[i+o2:], w)
+			xor64(buf[i+o3:], w)
+			xor64(buf[i+o4:], w)
+			w = binary.LittleEndian.Uint64(buf[i+8:])
+			xor64(buf[i+8+o0:], w)
+			xor64(buf[i+8+o1:], w)
+			xor64(buf[i+8+o2:], w)
+			xor64(buf[i+8+o3:], w)
+			xor64(buf[i+8+o4:], w)
+		}
+		for ; i+o4+8 <= n; i += 8 {
+			w := binary.LittleEndian.Uint64(buf[i:])
+			xor64(buf[i+o0:], w)
+			xor64(buf[i+o1:], w)
+			xor64(buf[i+o2:], w)
+			xor64(buf[i+o3:], w)
+			xor64(buf[i+o4:], w)
+		}
+	default:
+		for ; i+sp.span*8+8 <= n; i += 8 {
+			w := binary.LittleEndian.Uint64(buf[i:])
+			for _, o := range sp.offs {
+				xor64(buf[i+o*8:], w)
+			}
+		}
+	}
+	return i
+}
+
+// fold is the byte-granularity twin of foldWords: the same rewrite with
+// offsets in bytes (reach span bytes), used to shrink the word stage's
+// residue before the scalar tail.  It returns the index where the
+// unfoldable tail begins.  The weight-5 and weight-6 shapes are
+// unrolled; the generic loop keeps any future exponent list correct.
+func (sp *sparseKernel) fold(buf []byte) int {
+	n := len(buf)
+	i := 0
+	switch len(sp.offs) {
+	case 4:
+		o0, o1, o2, o3 := sp.offs[0], sp.offs[1], sp.offs[2], sp.offs[3]
+		for ; i+o3+8 <= n; i += 8 {
+			w := binary.LittleEndian.Uint64(buf[i:])
+			xor64(buf[i+o0:], w)
+			xor64(buf[i+o1:], w)
+			xor64(buf[i+o2:], w)
+			xor64(buf[i+o3:], w)
+		}
+	case 5:
+		o0, o1, o2, o3, o4 := sp.offs[0], sp.offs[1], sp.offs[2], sp.offs[3], sp.offs[4]
+		for ; i+o4+8 <= n; i += 8 {
+			w := binary.LittleEndian.Uint64(buf[i:])
+			xor64(buf[i+o0:], w)
+			xor64(buf[i+o1:], w)
+			xor64(buf[i+o2:], w)
+			xor64(buf[i+o3:], w)
+			xor64(buf[i+o4:], w)
+		}
+	default:
+		for ; i+sp.span+8 <= n; i += 8 {
+			w := binary.LittleEndian.Uint64(buf[i:])
+			for _, o := range sp.offs {
+				xor64(buf[i+o:], w)
+			}
+		}
+	}
+	return i
+}

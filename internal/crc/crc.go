@@ -7,6 +7,14 @@
 // AAL5/IEEE 802.3 polynomial), CRC-10 (the ATM OAM polynomial), the
 // CRC-16 family, and the CRC-8 HEC of the ATM cell header.
 //
+// Bulk input dispatches through an interchangeable kernel layer
+// (kernel.go): byte-at-a-time scalar, slicing-by-8, the table-free
+// chorba fold and the wide-word nguyen recurrence.  New verifies each
+// candidate against the scalar oracle and races the survivors, so
+// callers get the fastest correct engine automatically; SetKernel and
+// the REALSUM_CRC_KERNEL environment variable pin one for reproducible
+// measurement.
+//
 // The CRC-32 path is verified bit-for-bit against the standard library's
 // hash/crc32 and against the published catalog check values.
 package crc
@@ -112,6 +120,8 @@ type Table struct {
 	tab    [256]uint64
 	shift  uint8 // 64 − Width, for the left-aligned (non-reflected) path
 	slice  *slicing
+	sp     *sparseKernel // fold geometry, nil without a catalogued sparse multiple
+	kern   kernelID      // selected bulk engine (see kernel.go)
 }
 
 // New builds the lookup table for p.  It panics if p.Width is outside
@@ -153,19 +163,19 @@ func New(p Params) *Table {
 		}
 	}
 	t.slice = t.buildSlicing()
+	t.sp = sparseFor(p)
+	t.kern = t.selectKernel()
 	return t
 }
 
 // Params returns the algorithm description the table was built from.
 func (t *Table) Params() Params { return t.params }
 
-// update advances a raw register (in the table's internal alignment),
-// taking the slicing-by-8 path for bulk input.
+// update advances a raw register (in the table's internal alignment)
+// through the selected bulk kernel; inputs below a kernel's reach fall
+// back to slicing-by-8, and sub-word tails to the scalar loop.
 func (t *Table) update(reg uint64, data []byte) uint64 {
-	if len(data) >= 16 {
-		return t.updateSlicing(reg, data)
-	}
-	return t.updateScalar(reg, data)
+	return t.kernelUpdate(t.kern, reg, data)
 }
 
 // updateScalar is the one-byte-per-step reference loop.

@@ -1,0 +1,101 @@
+package crc
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// Nguyen-style wide-word CRC kernel (after Nguyen, "Fast CRCs",
+// arXiv:1009.5949): the CRC is advanced one full 64-bit machine word
+// per step through a sparse linear recurrence.  Nguyen's fast-CRC
+// generators are chosen sparse so that the word recurrence is a few
+// shifts and XORs; standard CRC-32/CRC-32C generators are dense, so
+// the kernel runs the recurrence modulo a sparse *multiple* S of the
+// generator instead (sparse.go) and reduces mod G only at the end —
+// valid because G | S makes Z/S-arithmetic a refinement of Z/G.
+//
+// Concretely the state is a power-of-two ring of 64-bit words, the
+// sliding span-word window of the stream rewrite: consuming word i
+// (message word XOR accumulated folds) scatters it to the ring slots
+// for word positions i+off for each word offset — the same identity
+// the chorba kernel applies byte-wise, but with no scratch copy of the
+// input, so the working set is the ring (2–4 KiB) regardless of input
+// size.  The final span words drain through the chorba byte fold and
+// the byte-at-a-time table.
+func (t *Table) nguyen(reg uint64, data []byte) uint64 {
+	sp := t.sp
+	rp := sp.ringPool.Get().(*[]uint64)
+	ring := *rp
+	// Deriving the mask from len(ring) (a power of two) lets the
+	// compiler drop the bounds check on every masked ring index.
+	mask := len(ring) - 1
+	nw := len(data) / 8
+	k := nw - sp.span // words consumed by the ring recurrence
+
+	// Fold the incoming register into the first message word.  A
+	// reflected register occupies the low bytes of the little-endian
+	// load; a left-aligned one the high bytes, which in the LE-loaded
+	// word means byte-reversed placement.
+	if t.params.RefIn {
+		ring[0] ^= reg
+	} else {
+		ring[0] ^= bits.ReverseBytes64(reg)
+	}
+
+	words := data[: nw*8 : nw*8]
+	switch len(sp.offs) {
+	case 4:
+		o0, o1, o2, o3 := sp.offs[0], sp.offs[1], sp.offs[2], sp.offs[3]
+		for i := 0; i < k; i++ {
+			j := i & mask
+			w := binary.LittleEndian.Uint64(words[i*8:]) ^ ring[j]
+			ring[j] = 0
+			ring[(i+o0)&mask] ^= w
+			ring[(i+o1)&mask] ^= w
+			ring[(i+o2)&mask] ^= w
+			ring[(i+o3)&mask] ^= w
+		}
+	case 5:
+		o0, o1, o2, o3, o4 := sp.offs[0], sp.offs[1], sp.offs[2], sp.offs[3], sp.offs[4]
+		for i := 0; i < k; i++ {
+			j := i & mask
+			w := binary.LittleEndian.Uint64(words[i*8:]) ^ ring[j]
+			ring[j] = 0
+			ring[(i+o0)&mask] ^= w
+			ring[(i+o1)&mask] ^= w
+			ring[(i+o2)&mask] ^= w
+			ring[(i+o3)&mask] ^= w
+			ring[(i+o4)&mask] ^= w
+		}
+	default:
+		for i := 0; i < k; i++ {
+			j := i & mask
+			w := binary.LittleEndian.Uint64(words[i*8:]) ^ ring[j]
+			ring[j] = 0
+			for _, o := range sp.offs {
+				ring[(i+o)&mask] ^= w
+			}
+		}
+	}
+
+	// Drain: the last span words (message XOR ring) plus the sub-word
+	// tail form the residual byte stream; emptying consumed slots as we
+	// go restores the all-zero invariant the pool relies on.
+	bp := sp.bufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	var wb [8]byte
+	for i := k; i < nw; i++ {
+		j := i & mask
+		binary.LittleEndian.PutUint64(wb[:], binary.LittleEndian.Uint64(words[i*8:])^ring[j])
+		ring[j] = 0
+		buf = append(buf, wb[:]...)
+	}
+	buf = append(buf, data[nw*8:]...)
+	*bp = buf
+	sp.ringPool.Put(rp)
+
+	i := sp.fold(buf)
+	reg = t.updateScalar(0, buf[i:])
+	sp.bufPool.Put(bp)
+	return reg
+}

@@ -1,0 +1,101 @@
+package crc
+
+import "sync"
+
+// Sparse multiples of the CRC generator — the algebraic raw material of
+// the table-free kernels.
+//
+// A low-weight multiple of the generator G with exponents
+// e_{w-1} > ... > e_1 > e_0 = 0 (every exponent a multiple of the unit
+// size u) yields the fold identity
+//
+//	x^{u·e_{w-1}}  ≡  x^{u·e_{w-2}} + ... + x^{u·e_1} + 1   (mod G)
+//
+// which, read over the message byte stream, says: a unit (byte or
+// 64-bit word) at stream position i may be deleted and XORed instead
+// into the positions i + (e_{w-1} − e_j) for every j < w−1 — each
+// strictly later, each unit-aligned — without changing the CRC.  The
+// chorba kernel applies the identity with u = 8 (byte offsets) over a
+// scratch copy of the input; the nguyen kernel applies it with u = 64
+// (word offsets) as a sliding-window word recurrence.  One exponent
+// list serves both units: squaring is the Frobenius map on GF(2)[x], so
+// S(x) | multiple ⇒ S(x^8) = S(x)^8 is also a multiple, i.e. a
+// byte-aligned multiple lifts to a word-aligned multiple with the same
+// exponents.
+//
+// The exponent lists below were found by an offline meet-in-the-middle
+// search over x^{8j} mod G (minimal-span solutions preferred) and are
+// re-verified in-repo by TestSparseMultiplesAreMultiples against the
+// bitwise reference engine.  CRC-32C admits no odd-weight multiple at
+// all — its generator is divisible by (x+1), which is exactly the §2
+// "detects all odd-weight errors" guarantee — so it carries a weight-6
+// list where CRC-32 carries a weight-5 one.
+var sparseMultiples = map[uint64][]int{
+	// CRC-32 (IEEE 802.3 / AAL5), poly 0x04C11DB7: weight 5, span 300
+	// units: x^2400 + x^1240 + x^936 + x^712 + 1 in bit exponents.
+	0x04C11DB7: {0, 89, 117, 155, 300},
+	// CRC-32C (Castagnoli), poly 0x1EDC6F41: weight 6, span 209 units:
+	// x^1672 + x^1152 + x^432 + x^312 + x^112 + 1 in bit exponents.
+	0x1EDC6F41: {0, 14, 39, 54, 144, 209},
+}
+
+// sparseKernel holds the derived fold geometry and the scratch pools
+// the chorba and nguyen kernels run on.  It is built once per Table at
+// New time and is safe for concurrent use: all mutable state lives in
+// pooled per-call scratch.
+type sparseKernel struct {
+	// exps is the ascending exponent list, exps[0] == 0.
+	exps []int
+	// offs are the fold offsets e_max − e_j for j < w−1, ascending;
+	// the last entry equals span.  In bytes for the chorba fold, in
+	// 64-bit words for the nguyen ring.
+	offs []int
+	// span is the largest exponent: the reach of one fold step.
+	span int
+	// bulkMin is the smallest input size (bytes) the fold kernels
+	// handle: below one full word-stage reach the slicing path wins,
+	// so mid-size packets never regress.
+	bulkMin int
+	// ringSize is the nguyen ring length in words: the smallest power
+	// of two > span, so slot indexing is a mask and the live window of
+	// span+1 logical positions never collides.
+	ringSize int
+
+	bufPool  sync.Pool // *[]byte: chorba scratch / nguyen drain buffer
+	ringPool sync.Pool // *[]uint64: nguyen ring, all-zero between uses
+}
+
+// sparseFor returns the fold geometry for p, or nil when no sparse
+// multiple of p's generator is catalogued.  Only the exponent list is
+// polynomial-specific; the kernels themselves are pure byte-stream
+// rewrites and work for any width and reflection convention.
+func sparseFor(p Params) *sparseKernel {
+	if p.Width != 32 {
+		return nil
+	}
+	exps, ok := sparseMultiples[p.Poly&p.Mask()]
+	if !ok {
+		return nil
+	}
+	sp := &sparseKernel{exps: exps, span: exps[len(exps)-1]}
+	for i := len(exps) - 2; i >= 0; i-- {
+		sp.offs = append(sp.offs, sp.span-exps[i])
+	}
+	// Both kernels need more words than the span so at least one word
+	// is consumed by the word-stage fold.
+	sp.bulkMin = 8*sp.span + 16
+	sp.ringSize = 1
+	for sp.ringSize <= sp.span {
+		sp.ringSize <<= 1
+	}
+	sp.bufPool.New = func() interface{} {
+		b := make([]byte, 0, 4096)
+		return &b
+	}
+	ringSize := sp.ringSize
+	sp.ringPool.New = func() interface{} {
+		r := make([]uint64, ringSize)
+		return &r
+	}
+	return sp
+}

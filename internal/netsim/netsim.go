@@ -393,12 +393,12 @@ func (w *worker) computeSums() {
 	for k := 0; k+1 < len(w.pduOff); k++ {
 		pdu := w.pduArena[w.pduOff[k]:w.pduOff[k+1]]
 		for _, a := range w.algos {
-			w.sums = append(w.sums, a.Sum(pdu))
+			w.sums = append(w.sums, algo.Sum(a, pdu))
 		}
 		if w.segIdx >= 0 {
 			seg := pdu[:w.pktLen[k]]
 			for _, a := range w.algos {
-				w.segSums = append(w.segSums, a.Sum(seg))
+				w.segSums = append(w.segSums, algo.Sum(a, seg))
 			}
 			w.sentCk = append(w.sentCk, tcpip.StoredTCPChecksum(seg))
 		}
@@ -473,7 +473,7 @@ func (w *worker) score(ct *ChannelTally, origin int, cells []atm.Cell) {
 			pt.Corrupted++
 			base := origin * len(w.algos)
 			for a, alg := range w.algos {
-				if alg.Sum(w.pdu) == w.sums[base+a] {
+				if algo.Sum(alg, w.pdu) == w.sums[base+a] {
 					pt.Algos[a].Undetected++
 				} else {
 					pt.Algos[a].Detected++
@@ -516,7 +516,7 @@ func (w *worker) scoreSegment(pt *PlacementTally, origin int) {
 	pt.Corrupted++
 	base := origin * len(w.algos)
 	for a, alg := range w.algos {
-		if alg.Sum(recv) == w.segSums[base+a] {
+		if algo.Sum(alg, recv) == w.segSums[base+a] {
 			pt.Algos[a].Undetected++
 		} else {
 			pt.Algos[a].Detected++

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI gate: vet, build, full test suite, the race detector over the
-# concurrent packages and the workers-determinism guarantees, and a
-# small-scale smoke of both benchmark JSON emitters.
+# concurrent packages, the workers-determinism guarantees and the CRC
+# kernel layer, and a small-scale smoke of the benchmark JSON emitters.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,6 +19,13 @@ echo "== fuzz seed-corpus smoke =="
 # testdata corpora in normal (non-fuzzing) mode.  `go test -fuzz` only
 # accepts a single package, so the smoke uses -run across the tree.
 go test -count=1 -run Fuzz ./...
+
+echo "== CRC kernel differential smoke (-race) =="
+# Every kernel against the scalar oracle and hash/crc32, the
+# auto-selection contract (whatever New raced to must verify against
+# the oracle), and the registry's Sum/KernelControl surface, all under
+# the race detector — tables are shared across netsim workers.
+go test -race -count=1 -run 'Sparse|Kernel|SumZeroAlloc|SumHelper' ./internal/crc/ ./internal/algo/
 
 echo "== go test -race (sim, splice, netsim) =="
 go test -race ./internal/sim/... ./internal/splice/... ./internal/netsim/...
@@ -74,5 +81,15 @@ go run ./cmd/paper -benchnetsimjson "$tmp/BENCH_netsim.json" -scale 0.02 -benchi
 for f in BENCH_splice.json BENCH_dist.json BENCH_netsim.json; do
     test -s "$tmp/$f" || { echo "missing $f"; exit 1; }
 done
+
+echo "== benchalgo smoke (every registry algorithm emits a record) =="
+go run ./cmd/paper -benchalgojson "$tmp/BENCH_algo.json" -benchiters 1
+test -s "$tmp/BENCH_algo.json" || { echo "missing BENCH_algo.json"; exit 1; }
+for a in $(go run ./cmd/cksum -a list); do
+    grep -q "\"algo\": \"$a\"" "$tmp/BENCH_algo.json" \
+        || { echo "BENCH_algo.json missing algorithm $a"; exit 1; }
+done
+grep -q '"kernel_speedup_vs_slicing8"' "$tmp/BENCH_algo.json" \
+    || { echo "BENCH_algo.json missing the kernel-speedup baseline"; exit 1; }
 
 echo "CI OK"
