@@ -1,0 +1,166 @@
+// Command cksumd is the long-running verification service over the
+// netsim fault-injection pipeline.  It accepts many concurrent
+// verification streams — declarative scenario profiles loaded at
+// startup and wire streams opened over TCP — runs each continuously
+// through the sharded engine with batched commutative tally merges,
+// and exposes per-algorithm × per-channel × per-placement tallies,
+// throughput and progress over HTTP.
+//
+// Usage:
+//
+//	cksumd [-http 127.0.0.1:0] [-listen ADDR] [-flush N] [-once]
+//	       scenario.json [scenario2.json ...]
+//	cksumd -scrape URL
+//
+// Each scenario file is a JSON profile (see internal/scenario): corpus
+// source, fault channels, placements, trial budget, seed, and how to
+// keep running — replica streams, corpus passes, a wall-clock duration.
+// A scenario's streams start immediately and run to their budgets; the
+// service then keeps serving metrics (and wire streams, with -listen)
+// until interrupted.  -once exits as soon as every file scenario
+// completes instead.
+//
+// Shutdown is graceful: on SIGINT/SIGTERM every stream stops feeding,
+// drains its queued files, and flushes every engine shard into its
+// aggregate tally — no scored trial is lost — then the process exits 0.
+//
+// Determinism: a stream's report is byte-identical to the batch
+// `netsim` CLI run of the same scenario at the same seed, regardless
+// of worker count, flush cadence, or when the service was interrupted
+// relative to other streams.  Replica r of a scenario runs seed
+// netsim.StreamSeed(seed, r); replica 0 is the batch run itself.
+//
+// -scrape fetches a URL and prints the body — a dependency-free client
+// for CI scripts polling /metrics.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"realsum/internal/scenario"
+)
+
+func main() {
+	httpAddr := flag.String("http", "127.0.0.1:0", "metrics/status HTTP listen address")
+	listen := flag.String("listen", "", "TCP listen address for wire verification streams (default: disabled)")
+	flush := flag.Int("flush", 0, "files a worker shard scores between tally flushes (default 4; the final tally is identical at any cadence)")
+	once := flag.Bool("once", false, "exit after every file scenario completes instead of serving until interrupted")
+	scrape := flag.String("scrape", "", "fetch this URL, print the body and exit (CI scrape helper)")
+	flag.Parse()
+
+	if *scrape != "" {
+		if err := doScrape(*scrape); err != nil {
+			fmt.Fprintf(os.Stderr, "cksumd: scrape: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if flag.NArg() == 0 && *listen == "" {
+		fmt.Fprintln(os.Stderr, "cksumd: nothing to do: give scenario files and/or -listen (see -h)")
+		os.Exit(2)
+	}
+
+	sv := scenario.NewServer()
+	sv.FlushEvery = *flush
+	for _, path := range flag.Args() {
+		sc, err := scenario.Load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cksumd: %v\n", err)
+			os.Exit(2)
+		}
+		streams, err := sv.Add(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cksumd: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		fmt.Printf("cksumd: scenario %q: %d stream(s)\n", sc.Name, len(streams))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Metrics first, so a supervisor can scrape from the moment the
+	// streams start.  The bound address line is the service's handshake
+	// with scripts that asked for port 0.
+	mln, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cksumd: metrics listen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("cksumd: metrics on http://%s/metrics\n", mln.Addr())
+	httpSrv := &http.Server{Handler: sv.Handler()}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- httpSrv.Serve(mln) }()
+
+	wireErr := make(chan error, 1)
+	if *listen != "" {
+		wln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cksumd: wire listen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("cksumd: wire streams on %s\n", wln.Addr())
+		go func() { wireErr <- sv.ServeListener(ctx, wln) }()
+	}
+
+	// Run the file scenarios to their budgets (graceful on cancel), then
+	// either exit (-once) or keep serving until the signal arrives.
+	runErr := sv.Run(ctx)
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "cksumd: %v\n", runErr)
+	}
+	if !*once {
+		<-ctx.Done()
+	}
+	stop()
+
+	// Drain: wire connections finish their streams, then the HTTP
+	// listener closes once nothing is left to observe.
+	sv.Wait()
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	httpSrv.Shutdown(sctx)
+
+	for _, st := range sv.Streams() {
+		fmt.Printf("cksumd: stream %d %q replica %d: %s, %d files, %d bytes\n",
+			st.ID, st.Scenario.Name, st.Replica, st.State(), st.Files(), st.Bytes())
+	}
+	select {
+	case err := <-wireErr:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cksumd: wire: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+	}
+	if runErr != nil {
+		os.Exit(1)
+	}
+}
+
+// doScrape fetches url and streams the body to stdout.
+func doScrape(url string) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return nil
+}

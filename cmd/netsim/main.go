@@ -6,11 +6,18 @@
 //
 // Usage:
 //
-//	netsim [-profile "smeg.stanford.edu:/u1"] [-scale 1.0] [-dir PATH]
+//	netsim [-scenario FILE.json]
+//	       [-profile "smeg.stanford.edu:/u1"] [-scale 1.0] [-dir PATH]
 //	       [-mode tcp|udpfrag]
 //	       [-channels drop,drop-ge,drop-burst,bitflip,burst,reorder,misinsert,dup]
 //	       [-placement e2e,segment]
 //	       [-trials 6] [-seed 0] [-workers N]
+//
+// The flags are aliases over a scenario.Scenario — the same declarative
+// profile cmd/cksumd serves continuously.  -scenario loads a JSON
+// profile first; any flag set explicitly on the command line overrides
+// the loaded field, so `netsim -scenario audit.json -trials 12` is the
+// profile with a bigger trial budget.
 //
 // -dir scores a real directory tree instead of a synthetic profile.
 // The three drop channels run at a matched 1% average cell-loss rate —
@@ -20,7 +27,8 @@
 // e2e treats each algorithm as one checksum over the whole AAL5 PDU,
 // segment scores it per TCP segment and adds the header-vs-trailer
 // field-position contrast for the TCP sum.  Output is byte-identical at
-// any -workers count.
+// any -workers count, and to a cksumd stream of the same scenario at
+// the same seed.
 package main
 
 import (
@@ -31,19 +39,18 @@ import (
 	"os/signal"
 	"strings"
 
-	"realsum/internal/corpus"
 	"realsum/internal/netsim"
+	"realsum/internal/scenario"
 )
 
 func main() {
-	valid := strings.Join(netsim.ChannelNames(), ",")
+	scenFile := flag.String("scenario", "", "load a scenario profile (JSON); explicit flags override its fields")
 	profile := flag.String("profile", "smeg.stanford.edu:/u1", "synthetic corpus profile (see cmd/corpus -list for names)")
 	scale := flag.Float64("scale", 1.0, "corpus scale factor")
 	dir := flag.String("dir", "", "score a real directory tree instead of a synthetic profile")
 	mode := flag.String("mode", "tcp", "transport encoding: tcp (one packet per PDU) or udpfrag (UDP datagrams + IP fragmentation)")
-	channels := flag.String("channels", "", "comma-separated fault channels (default: all of "+valid+")")
-	validPl := strings.Join(netsim.PlacementNames(), ",")
-	placement := flag.String("placement", "", "comma-separated checksum placements (default: all of "+validPl+"; segment applies to tcp mode only)")
+	channels := flag.String("channels", "", "comma-separated fault channels (default: all of "+strings.Join(netsim.ChannelNames(), ",")+")")
+	placement := flag.String("placement", "", "comma-separated checksum placements (default: all of "+strings.Join(netsim.PlacementNames(), ",")+"; segment applies to tcp mode only)")
 	trials := flag.Int("trials", 0, "trials per (file × channel) (default 6)")
 	seed := flag.Uint64("seed", 0, "root seed; every trial's fault pattern derives from it")
 	workers := flag.Int("workers", 0, "parallel workers (default GOMAXPROCS; output is identical at any count)")
@@ -52,48 +59,53 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	cfg := netsim.Config{Trials: *trials, Seed: *seed, Workers: *workers}
-	switch *mode {
-	case "tcp":
-		cfg.Mode = netsim.ModeTCP
-	case "udpfrag":
-		cfg.Mode = netsim.ModeUDPFrag
-	default:
-		fmt.Fprintf(os.Stderr, "netsim: unknown -mode %q (want tcp or udpfrag)\n", *mode)
+	var sc scenario.Scenario
+	if *scenFile != "" {
+		var err error
+		sc, err = scenario.Load(*scenFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		sc = scenario.Scenario{Profile: *profile, Scale: *scale}
+	}
+
+	// Explicit flags win over the loaded profile; -dir and -profile
+	// displace each other, preserving the old "-dir overrides the
+	// default profile" behavior.
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "profile":
+			sc.Profile, sc.Dir = *profile, ""
+		case "dir":
+			sc.Dir, sc.Profile = *dir, ""
+		case "scale":
+			sc.Scale = *scale
+		case "mode":
+			sc.Mode = *mode
+		case "channels":
+			sc.Channels = strings.Split(*channels, ",")
+		case "placement":
+			sc.Placements = strings.Split(*placement, ",")
+		case "trials":
+			sc.Trials = *trials
+		case "seed":
+			sc.Seed = *seed
+		case "workers":
+			sc.Workers = *workers
+		}
+	})
+	if err := sc.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
 		os.Exit(2)
 	}
-	if *channels != "" {
-		specs, unknown := netsim.ChannelsByName(strings.Split(*channels, ","))
-		if len(unknown) > 0 {
-			fmt.Fprintf(os.Stderr, "netsim: unknown channels %v (want a subset of %s)\n", unknown, valid)
-			os.Exit(2)
-		}
-		cfg.Channels = specs
-	}
-	if *placement != "" {
-		pls, unknown := netsim.PlacementsByName(strings.Split(*placement, ","))
-		if len(unknown) > 0 {
-			fmt.Fprintf(os.Stderr, "netsim: unknown placements %v (want a subset of %s)\n", unknown, validPl)
-			os.Exit(2)
-		}
-		cfg.Placements = pls
+	if _, err := sc.Walker(); err != nil {
+		fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
+		os.Exit(2)
 	}
 
-	var walker corpus.Walker
-	if *dir != "" {
-		walker = corpus.DirWalker(*dir)
-	} else {
-		p, ok := corpus.ByName(*profile)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "netsim: unknown profile %q\n", *profile)
-			os.Exit(2)
-		}
-		p = p.Scale(*scale)
-		p.Seed ^= *seed
-		walker = p.Build()
-	}
-
-	tally, err := netsim.Run(ctx, walker, cfg)
+	tally, err := sc.Run(ctx, nil)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
 		os.Exit(1)

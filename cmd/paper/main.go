@@ -66,6 +66,7 @@ import (
 	"realsum/internal/crc"
 	"realsum/internal/experiments"
 	"realsum/internal/netsim"
+	"realsum/internal/scenario"
 	"realsum/internal/sim"
 )
 
@@ -114,15 +115,10 @@ func main() {
 			}
 		}
 		if *benchnetsimjson != "" {
-			var placements []netsim.Placement
-			if *placement != "" {
-				pls, unknown := netsim.PlacementsByName(strings.Split(*placement, ","))
-				if len(unknown) > 0 {
-					fmt.Fprintf(os.Stderr, "paper: unknown placements %v (want a subset of %s)\n",
-						unknown, strings.Join(netsim.PlacementNames(), ","))
-					os.Exit(2)
-				}
-				placements = pls
+			placements, err := scenario.ParsePlacements(*placement)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "paper: %v\n", err)
+				os.Exit(2)
 			}
 			if err := runBenchNetsimJSON(ctx, *benchnetsimjson, *scale, *seed, *benchIters, placements); err != nil {
 				fmt.Fprintf(os.Stderr, "paper: benchnetsimjson: %v\n", err)

@@ -5,6 +5,7 @@ import (
 
 	"realsum/internal/corpus"
 	"realsum/internal/netsim"
+	"realsum/internal/scenario"
 )
 
 // NetSimData holds the §7 fault-injection results: the TCP/IPv4
@@ -18,8 +19,11 @@ type NetSimData struct {
 // NetSim runs the Monte Carlo end-to-end pipeline over the Stanford /u1
 // profile — the corpus whose zero-run structure drives the paper's §7
 // claims about burst errors and the ones-complement sum.  Both passes
-// inherit the Config's root seed, worker count and progress plumbing;
-// output is byte-identical at any worker count.
+// are declared as scenario.Scenario profiles — the same objects
+// cmd/netsim flags alias and cmd/cksumd serves — so the experiment, the
+// CLI and the service provably run one code path.  Both inherit the
+// Config's root seed, worker count and progress plumbing; output is
+// byte-identical at any worker count.
 func NetSim(cfg Config) NetSimData {
 	// The UDP pass skips the three drop channels and the duplication
 	// channel: fragment loss (correlated or not) just exercises ipfrag's
@@ -27,29 +31,29 @@ func NetSim(cfg Config) NetSimData {
 	// the datagram-level story is about what corruption survives
 	// reassembly.  The TCP pass runs the full battery, including the
 	// i.i.d.-vs-correlated loss contrast at matched average rate.
-	udpChannels, _ := netsim.ChannelsByName([]string{"bitflip", "burst", "reorder", "misinsert"})
-
-	scaled := func(f float64) *corpus.FS {
-		p := corpus.StanfordU1().Scale(cfg.scale() * f)
-		p.Seed ^= cfg.Seed
-		return p.Build()
+	profile := corpus.StanfordU1().Name
+	tcpScen := scenario.Scenario{
+		Name:    "paper-netsim-tcp",
+		Profile: profile,
+		Scale:   cfg.scale() * 0.25,
+		Seed:    cfg.Seed,
+		Workers: cfg.Workers,
 	}
-	tcp, err := netsim.Run(cfg.ctx(), scaled(0.25), netsim.Config{
-		Mode:     netsim.ModeTCP,
+	udpScen := scenario.Scenario{
+		Name:     "paper-netsim-udpfrag",
+		Profile:  profile,
+		Scale:    cfg.scale() * 0.1,
+		Mode:     "udpfrag",
+		Channels: []string{"bitflip", "burst", "reorder", "misinsert"},
 		Seed:     cfg.Seed,
 		Workers:  cfg.Workers,
-		Progress: cfg.Progress,
-	})
+	}
+
+	tcp, err := tcpScen.Run(cfg.ctx(), cfg.Progress)
 	if err != nil {
 		panic(err)
 	}
-	udp, err := netsim.Run(cfg.ctx(), scaled(0.1), netsim.Config{
-		Mode:     netsim.ModeUDPFrag,
-		Seed:     cfg.Seed,
-		Channels: udpChannels,
-		Workers:  cfg.Workers,
-		Progress: cfg.Progress,
-	})
+	udp, err := udpScen.Run(cfg.ctx(), cfg.Progress)
 	if err != nil {
 		panic(err)
 	}

@@ -178,6 +178,28 @@ func (c Config) placements() []Placement {
 
 func (c Config) buildOptions() tcpip.BuildOptions { return tcpip.BuildOptions{} }
 
+// tallyNames resolves the (channel, algorithm, placement) name lists
+// the config's tallies are shaped by — shared by the engine workers and
+// NewTally so service aggregates always match their shards.
+func (c Config) tallyNames() (channels, algos, placements []string) {
+	specs := c.channels()
+	channels = make([]string, len(specs))
+	for i, s := range specs {
+		channels[i] = s.Name
+	}
+	as := c.algorithms()
+	algos = make([]string, len(as))
+	for i, a := range as {
+		algos[i] = a.Name()
+	}
+	pls := c.placements()
+	placements = make([]string, len(pls))
+	for i, p := range pls {
+		placements[i] = p.String()
+	}
+	return channels, algos, placements
+}
+
 // fragRef queues one AAL5-accepted IP fragment for datagram reassembly:
 // the datagram it belongs to and its bytes' span in the fragment arena.
 type fragRef struct{ dg, off, n int }
@@ -225,21 +247,11 @@ type worker struct {
 func newWorker(cfg Config) *worker {
 	specs := cfg.channels()
 	chans := make([]Channel, len(specs))
-	names := make([]string, len(specs))
 	for i, s := range specs {
 		chans[i] = s.New()
-		names[i] = s.Name
 	}
-	algos := cfg.algorithms()
-	algoNames := make([]string, len(algos))
-	for i, a := range algos {
-		algoNames[i] = a.Name()
-	}
-	placements := cfg.placements()
-	plNames := make([]string, len(placements))
 	e2eIdx, segIdx := -1, -1
-	for i, p := range placements {
-		plNames[i] = p.String()
+	for i, p := range cfg.placements() {
 		switch p {
 		case PlaceE2E:
 			e2eIdx = i
@@ -250,9 +262,9 @@ func newWorker(cfg Config) *worker {
 	pcg := rand.NewPCG(0, 0)
 	return &worker{
 		cfg:    cfg,
-		algos:  algos,
+		algos:  cfg.algorithms(),
 		chans:  chans,
-		tally:  newTally(cfg.Mode.String(), names, algoNames, plNames),
+		tally:  NewTally(cfg),
 		aal5:   crc.New(crc.CRC32),
 		e2eIdx: e2eIdx,
 		segIdx: segIdx,
@@ -629,4 +641,45 @@ func Run(ctx context.Context, w corpus.Walker, cfg Config) (*Tally, error) {
 		func(dst, src *worker) { dst.tally.Merge(src.tally) },
 	)
 	return ws.tally, err
+}
+
+// Shard is one incrementally-driven engine worker — the building block
+// of the cksumd service path, where a long-running stream feeds files
+// one at a time instead of walking a corpus once.  A Shard is not safe
+// for concurrent use; a stream runs one per pool worker.  Feeding files
+// in submission order with their submission index reproduces Run's
+// per-trial seeds exactly, so a stream's merged tally is byte-identical
+// to the batch run over the same files at the same cfg.Seed.
+type Shard struct {
+	w *worker
+}
+
+// NewShard builds one engine shard for cfg.
+func NewShard(cfg Config) *Shard { return &Shard{w: newWorker(cfg)} }
+
+// File runs every (channel × trial) combination over one file.  idx
+// must be the stream's running submission index — the determinism
+// handle TrialSeed mixes.  After the first few files have sized the
+// reusable buffers, the per-trial loop allocates nothing (ModeTCP).
+func (s *Shard) File(idx int, data []byte) { s.w.file(idx, data) }
+
+// Flush merges the shard's accumulated counts into dst and resets the
+// shard — the batched-merge step of the service path.  dst must have
+// been built by NewTally (or another Shard) from the same Config; the
+// caller owns dst's synchronization.  Flush allocates nothing.
+func (s *Shard) Flush(dst *Tally) {
+	dst.Merge(s.w.tally)
+	s.w.tally.Reset()
+}
+
+// StreamSeed derives the root seed for replica r of a scenario run at
+// base seed root.  Replica 0 runs root itself, so a single-stream
+// service run is byte-identical to the equivalent batch Run; further
+// replicas get decorrelated fault patterns while staying pure functions
+// of (root, r).
+func StreamSeed(root uint64, r int) uint64 {
+	if r == 0 {
+		return root
+	}
+	return splitmix64(splitmix64(root^0x5EED570EA3) ^ uint64(r))
 }

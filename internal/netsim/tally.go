@@ -185,6 +185,14 @@ type Tally struct {
 	Channels []ChannelTally
 }
 
+// NewTally builds an empty tally shaped for cfg — the aggregate a
+// service stream merges its shard batches into.  Its shape matches any
+// Shard built from the same cfg, so Shard.Flush never panics.
+func NewTally(cfg Config) *Tally {
+	channels, algos, placements := cfg.tallyNames()
+	return newTally(cfg.Mode.String(), channels, algos, placements)
+}
+
 // newTally builds an empty tally shaped for the channel, algorithm and
 // placement name lists.
 func newTally(mode string, channels, algos, placements []string) *Tally {
@@ -220,6 +228,41 @@ func (t *Tally) Merge(o *Tally) {
 		}
 		t.Channels[i].merge(&o.Channels[i])
 	}
+}
+
+// Reset zeroes every counter, preserving the tally's shape — the
+// second half of the batched-merge cycle: flush merges a shard's counts
+// into the aggregate, Reset empties the shard for the next batch.
+func (t *Tally) Reset() {
+	for i := range t.Channels {
+		c := &t.Channels[i]
+		name, placements := c.Name, c.Placements
+		*c = ChannelTally{Name: name, Placements: placements}
+		for pi := range placements {
+			p := &placements[pi]
+			name, algos := p.Name, p.Algos
+			*p = PlacementTally{Name: name, Algos: algos}
+			for a := range algos {
+				algos[a].Detected, algos[a].Undetected = 0, 0
+			}
+			p.HeaderPos = AlgoTally{Name: "tcp@header"}
+			p.TrailerPos = AlgoTally{Name: "tcp@trailer"}
+		}
+	}
+}
+
+// Clone deep-copies the tally — the snapshot a metrics scrape renders
+// while the stream keeps merging batches into the original.
+func (t *Tally) Clone() *Tally {
+	o := &Tally{Mode: t.Mode, Channels: append([]ChannelTally(nil), t.Channels...)}
+	for i := range o.Channels {
+		pls := append([]PlacementTally(nil), o.Channels[i].Placements...)
+		for pi := range pls {
+			pls[pi].Algos = append([]AlgoTally(nil), pls[pi].Algos...)
+		}
+		o.Channels[i].Placements = pls
+	}
+	return o
 }
 
 // Channel returns the tally for the named channel.
@@ -321,10 +364,32 @@ func (t *Tally) Report() string {
 	b.WriteString(t.lossContrastReport())
 	b.WriteString(t.placementContrastReport())
 	b.WriteString(t.pipelineReport())
-	for _, s := range t.Shapes() {
-		fmt.Fprintf(&b, "shape[%s/%s]: corrupted=%d weakest=%s(%d) tcp=%d crc32=%d\n",
-			t.Mode, s.Channel, s.Corrupted, s.Weakest, s.WeakestUndetect, s.TCPUndetected, s.CRC32Undetected)
+	for _, line := range t.ShapeLines() {
+		b.WriteString(line)
+		b.WriteByte('\n')
 	}
+	for _, line := range t.PlacementLines() {
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ShapeLines renders the per-channel shape pin lines — the compact
+// ranking summary ci.sh and the cksumd metrics endpoint grep.
+func (t *Tally) ShapeLines() []string {
+	out := make([]string, 0, len(t.Channels))
+	for _, s := range t.Shapes() {
+		out = append(out, fmt.Sprintf("shape[%s/%s]: corrupted=%d weakest=%s(%d) tcp=%d crc32=%d",
+			t.Mode, s.Channel, s.Corrupted, s.Weakest, s.WeakestUndetect, s.TCPUndetected, s.CRC32Undetected))
+	}
+	return out
+}
+
+// PlacementLines renders the per-channel per-segment placement pin
+// lines, one per channel that scored the segment placement.
+func (t *Tally) PlacementLines() []string {
+	var out []string
 	for i := range t.Channels {
 		c := &t.Channels[i]
 		seg := c.Placement(PlaceSegment.String())
@@ -334,11 +399,11 @@ func (t *Tally) Report() string {
 		tcp, _ := seg.Algo("tcp")
 		f255, _ := seg.Algo("f255")
 		crc, _ := seg.Algo("crc32")
-		fmt.Fprintf(&b, "placement[%s/%s]: seg_corrupted=%d tcp=%d f255=%d crc32=%d header=%d trailer=%d\n",
+		out = append(out, fmt.Sprintf("placement[%s/%s]: seg_corrupted=%d tcp=%d f255=%d crc32=%d header=%d trailer=%d",
 			t.Mode, c.Name, seg.Corrupted, tcp.Undetected, f255.Undetected, crc.Undetected,
-			seg.HeaderPos.Undetected, seg.TrailerPos.Undetected)
+			seg.HeaderPos.Undetected, seg.TrailerPos.Undetected))
 	}
-	return b.String()
+	return out
 }
 
 // lossContrastReport contrasts the cell-loss channels — i.i.d. drop vs

@@ -1,0 +1,151 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"realsum/internal/netsim"
+)
+
+// TestLoadGolden pins the parse → validate → Config pipeline over the
+// checked-in profile files: every declarative field must land in the
+// netsim.Config (or budget accessor) it controls.
+func TestLoadGolden(t *testing.T) {
+	t.Run("onescomp", func(t *testing.T) {
+		sc, err := Load("testdata/onescomp.json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Name != "onescomp-audit" || sc.Dir != "../../internal/onescomp" {
+			t.Errorf("name/dir = %q/%q", sc.Name, sc.Dir)
+		}
+		cfg, err := sc.Config()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Mode != netsim.ModeTCP {
+			t.Errorf("mode = %v, want tcp default", cfg.Mode)
+		}
+		if len(cfg.Channels) != 4 || cfg.Channels[0].Name != "drop" || cfg.Channels[3].Name != "dup" {
+			t.Errorf("channels = %d entries (want drop..dup in battery order)", len(cfg.Channels))
+		}
+		if cfg.Trials != 2 || cfg.Workers != 2 || cfg.Seed != 0 {
+			t.Errorf("trials/workers/seed = %d/%d/%d", cfg.Trials, cfg.Workers, cfg.Seed)
+		}
+		if cfg.Placements != nil {
+			t.Errorf("placements = %v, want nil (netsim default battery)", cfg.Placements)
+		}
+		if sc.passes() != 1 || sc.streams() != 1 || sc.duration() != 0 {
+			t.Errorf("budget = %d passes / %d streams / %v", sc.passes(), sc.streams(), sc.duration())
+		}
+	})
+
+	t.Run("stanford-sustained", func(t *testing.T) {
+		sc, err := Load("testdata/stanford-sustained.json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := sc.Config()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Seed != 42 || len(cfg.Channels) != 2 || len(cfg.Placements) != 2 {
+			t.Errorf("seed/channels/placements = %d/%d/%d", cfg.Seed, len(cfg.Channels), len(cfg.Placements))
+		}
+		if sc.streams() != 4 || sc.passes() != 0 || sc.duration() != 2*time.Minute {
+			t.Errorf("budget = %d streams / %d passes / %v, want 4 / unbounded / 2m",
+				sc.streams(), sc.passes(), sc.duration())
+		}
+		if _, err := sc.Walker(); err != nil {
+			t.Errorf("Walker: %v", err)
+		}
+	})
+
+	t.Run("udpfrag", func(t *testing.T) {
+		sc, err := Load("testdata/udpfrag.json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := sc.Config()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Mode != netsim.ModeUDPFrag || cfg.DatagramSize != 2048 || cfg.MTU != 576 {
+			t.Errorf("mode/datagram/mtu = %v/%d/%d", cfg.Mode, cfg.DatagramSize, cfg.MTU)
+		}
+		if sc.passes() != 2 {
+			t.Errorf("passes() = %d, want 2", sc.passes())
+		}
+	})
+}
+
+// TestParseErrors pins the validation error strings — unknown names
+// come out sorted (the ChannelsByName convention), and unknown JSON
+// fields fail instead of silently running a default.
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want string
+	}{
+		{"unknown-channels-sorted", `{"channels": ["zz", "drop", "aa"]}`,
+			"unknown channels [aa zz] (want a subset of drop,drop-ge,drop-burst,bitflip,burst,reorder,misinsert,dup)"},
+		{"unknown-placement", `{"placements": ["middle"]}`,
+			"unknown placements [middle] (want a subset of e2e,segment)"},
+		{"unknown-mode", `{"mode": "sctp"}`, `unknown mode "sctp" (want tcp or udpfrag)`},
+		{"unknown-field", `{"profil": "x"}`, `unknown field "profil"`},
+		{"both-sources", `{"profile": "a", "dir": "b"}`, "mutually exclusive"},
+		{"bad-duration", `{"duration": "five minutes"}`, `bad duration "five minutes"`},
+		{"negative-trials", `{"trials": -1}`, "negative trials -1"},
+		{"bad-passes", `{"passes": -2}`, "passes -2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.json))
+			if err == nil {
+				t.Fatalf("Parse(%s) succeeded, want error containing %q", tc.json, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestWalkerErrors(t *testing.T) {
+	if _, err := (Scenario{}).Walker(); err == nil || !strings.Contains(err.Error(), "no corpus source") {
+		t.Errorf("empty scenario Walker error = %v", err)
+	}
+	if _, err := (Scenario{Profile: "no-such-system"}).Walker(); err == nil || !strings.Contains(err.Error(), `unknown profile "no-such-system"`) {
+		t.Errorf("unknown profile Walker error = %v", err)
+	}
+}
+
+// TestParseFlagHelpers covers the shared CLI parsing the two batch
+// binaries migrated onto.
+func TestParseFlagHelpers(t *testing.T) {
+	specs, err := ParseChannels("burst,drop")
+	if err != nil || len(specs) != 2 || specs[0].Name != "drop" {
+		t.Errorf("ParseChannels = %v specs, err %v (want battery order drop,burst)", len(specs), err)
+	}
+	if specs, err := ParseChannels(""); specs != nil || err != nil {
+		t.Errorf("ParseChannels(\"\") = %v, %v, want nil default", specs, err)
+	}
+	if _, err := ParseChannels("drop,zz"); err == nil || !strings.Contains(err.Error(), "unknown channels [zz]") {
+		t.Errorf("ParseChannels unknown error = %v", err)
+	}
+	pls, err := ParsePlacements("segment")
+	if err != nil || len(pls) != 1 || pls[0] != netsim.PlaceSegment {
+		t.Errorf("ParsePlacements = %v, %v", pls, err)
+	}
+	if _, err := ParsePlacements("e2e,nowhere"); err == nil || !strings.Contains(err.Error(), "unknown placements [nowhere]") {
+		t.Errorf("ParsePlacements unknown error = %v", err)
+	}
+	if m, err := ParseMode(""); m != netsim.ModeTCP || err != nil {
+		t.Errorf("ParseMode(\"\") = %v, %v", m, err)
+	}
+	if m, err := ParseMode("udpfrag"); m != netsim.ModeUDPFrag || err != nil {
+		t.Errorf("ParseMode(udpfrag) = %v, %v", m, err)
+	}
+}

@@ -1,0 +1,259 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"realsum/internal/netsim"
+)
+
+// DefaultFlushEvery is the batched-merge cadence: files a shard scores
+// between flushes of its private tally into the stream aggregate.
+// Larger batches take the aggregate lock less often; smaller ones make
+// the metrics fresher.  Either way the final tally is identical — the
+// merge is commutative.
+const DefaultFlushEvery = 4
+
+// Server owns the verification streams of a cksumd process: the
+// file-based scenarios registered before Run, plus any wire streams
+// TCP connections open while it serves.  It renders the live metrics
+// and status surfaces.
+type Server struct {
+	// FlushEvery overrides the batched-merge cadence (default
+	// DefaultFlushEvery).
+	FlushEvery int
+
+	mu      sync.Mutex
+	streams []*Stream
+	start   time.Time
+
+	// wireWG tracks streams served by TCP connections, so Wait can
+	// drain them on shutdown.
+	wireWG sync.WaitGroup
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{start: time.Now()}
+}
+
+func (sv *Server) flushEvery() int {
+	if sv.FlushEvery > 0 {
+		return sv.FlushEvery
+	}
+	return DefaultFlushEvery
+}
+
+// Add validates one scenario and registers its replica streams
+// (Scenario.Streams of them; replica r runs netsim.StreamSeed(Seed, r)
+// over the corpus built at that seed).  The streams run when Run is
+// called.
+func (sv *Server) Add(sc Scenario) ([]*Stream, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if !sc.HasSource() {
+		return nil, fmt.Errorf("scenario: %q has no corpus source (set profile or dir)", sc.Name)
+	}
+	replicas := make([]*Stream, 0, sc.streams())
+	for r := 0; r < sc.streams(); r++ {
+		scr := sc
+		scr.Seed = netsim.StreamSeed(sc.Seed, r)
+		cfg, err := scr.Config()
+		if err != nil {
+			return nil, err
+		}
+		walker, err := scr.Walker()
+		if err != nil {
+			return nil, err
+		}
+		sv.mu.Lock()
+		st := newStream(len(sv.streams), sc, r, cfg, walker, sv.flushEvery())
+		sv.streams = append(sv.streams, st)
+		sv.mu.Unlock()
+		replicas = append(replicas, st)
+	}
+	return replicas, nil
+}
+
+// register adds an externally-fed stream (a TCP connection's) to the
+// status surface and returns it.
+func (sv *Server) register(sc Scenario, cfg netsim.Config) *Stream {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	st := newStream(len(sv.streams), sc, 0, cfg, nil, sv.flushEvery())
+	sv.streams = append(sv.streams, st)
+	return st
+}
+
+// Streams snapshots the registered streams in ID order.
+func (sv *Server) Streams() []*Stream {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return append([]*Stream(nil), sv.streams...)
+}
+
+// Run executes every registered file-based stream concurrently and
+// blocks until all complete their budgets or ctx is cancelled
+// (graceful: every stream drains its queued files and flushes every
+// shard before Run returns).  Streams added after Run starts are not
+// picked up — wire streams run on their connection goroutines instead.
+// The first stream failure is returned; cancellation is not an error.
+func (sv *Server) Run(ctx context.Context) error {
+	streams := sv.Streams()
+	var wg sync.WaitGroup
+	errs := make([]error, len(streams))
+	for i, st := range streams {
+		if st.walker == nil || st.State() != StatePending {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, st *Stream) {
+			defer wg.Done()
+			errs[i] = st.run(ctx, nil)
+		}(i, st)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Wait blocks until every wire stream's connection goroutine finishes —
+// the drain step of a graceful TCP shutdown.
+func (sv *Server) Wait() { sv.wireWG.Wait() }
+
+// Handler serves the service's observation surface:
+//
+//	/metrics — plain-text counters: service totals, per-stream feed
+//	           counters, per (stream × channel × placement × algorithm)
+//	           verdicts, and each stream's shape/placement pin lines.
+//	/status  — the same as JSON, without the full tally.
+//	/healthz — liveness.
+func (sv *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", sv.handleMetrics)
+	mux.HandleFunc("/status", sv.handleStatus)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (sv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	streams := sv.Streams()
+
+	byState := map[State]int{}
+	for _, st := range streams {
+		byState[st.State()]++
+	}
+	fmt.Fprintf(w, "cksumd_uptime_seconds %.1f\n", time.Since(sv.start).Seconds())
+	fmt.Fprintf(w, "cksumd_streams_total %d\n", len(streams))
+	states := make([]State, 0, len(byState))
+	for s := range byState {
+		states = append(states, s)
+	}
+	sort.Slice(states, func(i, j int) bool { return states[i] < states[j] })
+	for _, s := range states {
+		fmt.Fprintf(w, "cksumd_streams{state=%q} %d\n", s, byState[s])
+	}
+
+	for _, st := range streams {
+		id := st.ID
+		fmt.Fprintf(w, "cksumd_files_total{stream=\"%d\"} %d\n", id, st.Files())
+		fmt.Fprintf(w, "cksumd_bytes_total{stream=\"%d\"} %d\n", id, st.Bytes())
+		fmt.Fprintf(w, "cksumd_passes_total{stream=\"%d\"} %d\n", id, st.Passes())
+
+		tally := st.Tally()
+		for ci := range tally.Channels {
+			c := &tally.Channels[ci]
+			fmt.Fprintf(w, "cksumd_trials_total{stream=\"%d\",channel=%q} %d\n", id, c.Name, c.Trials)
+			fmt.Fprintf(w, "cksumd_corrupted_total{stream=\"%d\",channel=%q} %d\n", id, c.Name, c.Corrupted)
+			for pi := range c.Placements {
+				p := &c.Placements[pi]
+				for _, a := range p.Algos {
+					fmt.Fprintf(w, "cksumd_undetected_total{stream=\"%d\",channel=%q,placement=%q,algo=%q} %d\n",
+						id, c.Name, p.Name, a.Name, a.Undetected)
+				}
+			}
+		}
+		// The same pin lines the batch CLIs print and ci.sh greps, so a
+		// service scrape and a batch run are directly comparable.
+		for _, line := range tally.ShapeLines() {
+			fmt.Fprintf(w, "stream[%d] %s\n", id, line)
+		}
+		for _, line := range tally.PlacementLines() {
+			fmt.Fprintf(w, "stream[%d] %s\n", id, line)
+		}
+	}
+}
+
+// StreamStatus is one stream's row in the /status document.
+type StreamStatus struct {
+	ID       int    `json:"id"`
+	Name     string `json:"name"`
+	Replica  int    `json:"replica"`
+	State    string `json:"state"`
+	Seed     uint64 `json:"seed"`
+	Files    uint64 `json:"files"`
+	Bytes    uint64 `json:"bytes"`
+	Passes   uint64 `json:"passes"`
+	Trials   uint64 `json:"trials"`
+	Error    string `json:"error,omitempty"`
+	Scenario string `json:"scenario,omitempty"`
+}
+
+// Status snapshots every stream for the /status endpoint.
+func (sv *Server) Status() []StreamStatus {
+	streams := sv.Streams()
+	out := make([]StreamStatus, 0, len(streams))
+	for _, st := range streams {
+		var trials uint64
+		tally := st.Tally()
+		for i := range tally.Channels {
+			trials += tally.Channels[i].Trials
+		}
+		s := StreamStatus{
+			ID:      st.ID,
+			Name:    st.Scenario.Name,
+			Replica: st.Replica,
+			State:   st.State().String(),
+			Seed:    st.Seed,
+			Files:   st.Files(),
+			Bytes:   st.Bytes(),
+			Passes:  st.Passes(),
+			Trials:  trials,
+		}
+		if err := st.Err(); err != nil {
+			s.Error = err.Error()
+		}
+		if st.Scenario.Profile != "" {
+			s.Scenario = "profile:" + st.Scenario.Profile
+		} else if st.Scenario.Dir != "" {
+			s.Scenario = "dir:" + st.Scenario.Dir
+		} else {
+			s.Scenario = "wire"
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func (sv *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct {
+		UptimeSeconds float64        `json:"uptime_seconds"`
+		Streams       []StreamStatus `json:"streams"`
+	}{time.Since(sv.start).Seconds(), sv.Status()})
+}

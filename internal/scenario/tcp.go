@@ -1,0 +1,128 @@
+package scenario
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+)
+
+// MaxFrame bounds one wire file frame (and the scenario header line).
+// A frame larger than this is a protocol error, not an allocation.
+const MaxFrame = 16 << 20
+
+// The cksumd wire protocol, one verification stream per connection:
+//
+//	line 1:  a JSON Scenario, newline-terminated.  The corpus fields
+//	         (profile, dir, scale, streams, passes, duration) must be
+//	         unset — the connection itself is the corpus.
+//	then:    file frames, each a big-endian uint32 length followed by
+//	         that many bytes; every frame is scored as one corpus file.
+//	end:     a zero-length frame (or clean EOF).  The server replies
+//	         with the merged tally report and closes.
+//
+// Frames are scored in arrival order with submission indices 0,1,2,…,
+// so a client that streams the files of a corpus in walk order receives
+// a report byte-identical to the batch netsim.Run over that corpus at
+// the same seed.  Backpressure is the transport's: when the stream's
+// engine pool is saturated the server stops reading, the TCP window
+// closes, and the client's writes stall until scoring catches up.
+
+// connWalker adapts the framed connection to corpus.Walker: one Walk
+// consumes the connection's frames.
+type connWalker struct {
+	r *bufio.Reader
+}
+
+func (c connWalker) Walk(fn func(path string, data []byte) error) error {
+	var hdr [4]byte
+	for i := 0; ; i++ {
+		if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+			if err == io.EOF {
+				return nil // clean end without the explicit zero frame
+			}
+			return fmt.Errorf("frame %d header: %w", i, err)
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n == 0 {
+			return nil
+		}
+		if n > MaxFrame {
+			return fmt.Errorf("frame %d: %d bytes exceeds the %d-byte frame cap", i, n, MaxFrame)
+		}
+		// The pool scores frames asynchronously, so each frame owns its
+		// buffer — the same per-file cost a batch corpus walk pays.
+		data := make([]byte, n)
+		if _, err := io.ReadFull(c.r, data); err != nil {
+			return fmt.Errorf("frame %d body (%d bytes): %w", i, n, err)
+		}
+		if err := fn(fmt.Sprintf("wire/%d", i), data); err != nil {
+			return err
+		}
+	}
+}
+
+// ServeListener accepts wire verification streams until ctx is
+// cancelled or the listener fails.  Each connection runs as its own
+// stream, registered on the status surface.  Use Wait after cancelling
+// to drain in-flight connections.
+func (sv *Server) ServeListener(ctx context.Context, ln net.Listener) error {
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		sv.wireWG.Add(1)
+		go func() {
+			defer sv.wireWG.Done()
+			defer conn.Close()
+			if err := sv.serveConn(ctx, conn); err != nil {
+				fmt.Fprintf(conn, "error: %v\n", err)
+			}
+		}()
+	}
+}
+
+// serveConn runs one wire stream: parse the scenario header, feed the
+// connection's frames through the engine, reply with the report.
+func (sv *Server) serveConn(ctx context.Context, conn net.Conn) error {
+	br := bufio.NewReaderSize(conn, 64<<10)
+	line, err := br.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		return errors.New("scenario header exceeds the 64 KiB line cap")
+	}
+	if err != nil {
+		return fmt.Errorf("scenario header: %w", err)
+	}
+	sc, err := Parse(strings.NewReader(string(line)))
+	if err != nil {
+		return err
+	}
+	if sc.HasSource() || sc.Streams > 1 || sc.Passes != 0 || sc.Duration != "" {
+		return errors.New("scenario: wire streams carry their own corpus (leave profile, dir, streams, passes and duration unset)")
+	}
+	if sc.Name == "" {
+		sc.Name = "wire:" + conn.RemoteAddr().String()
+	}
+	cfg, err := sc.Config()
+	if err != nil {
+		return err
+	}
+	st := sv.register(sc, cfg)
+	if err := st.run(ctx, connWalker{r: br}); err != nil {
+		return err
+	}
+	_, err = io.WriteString(conn, st.Report())
+	return err
+}

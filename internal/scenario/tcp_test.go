@@ -1,0 +1,145 @@
+package scenario
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"net"
+	"strings"
+	"testing"
+)
+
+// TestWireStreamMatchesBatch drives the TCP protocol end to end: a
+// client that streams a corpus's files in walk order at a given seed
+// must get back the report the batch netsim.Run produces for that
+// corpus and seed.
+func TestWireStreamMatchesBatch(t *testing.T) {
+	batch := Scenario{
+		Name:    "wire-oracle",
+		Profile: "smeg.stanford.edu:/u1",
+		Scale:   0.02,
+		Trials:  2,
+		Seed:    42,
+	}
+	want := batchReport(t, batch)
+
+	// Collect the corpus files the batch run walks, to replay as frames.
+	walker, err := batch.Walker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files [][]byte
+	if err := walker.Walk(func(path string, data []byte) error {
+		files = append(files, append([]byte(nil), data...))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("profile walker produced no files")
+	}
+
+	sv := NewServer()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- sv.ServeListener(ctx, ln) }()
+	defer func() {
+		cancel()
+		sv.Wait()
+		if err := <-serveDone; err != nil {
+			t.Errorf("ServeListener: %v", err)
+		}
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Header carries the engine config only; the connection is the corpus.
+	hdr, err := json.Marshal(Scenario{Name: "wire-oracle", Trials: 2, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(append(hdr, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	var lenbuf [4]byte
+	for _, data := range files {
+		binary.BigEndian.PutUint32(lenbuf[:], uint32(len(data)))
+		if _, err := conn.Write(lenbuf[:]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	binary.BigEndian.PutUint32(lenbuf[:], 0)
+	if _, err := conn.Write(lenbuf[:]); err != nil {
+		t.Fatal(err)
+	}
+
+	reply, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(reply); got != want {
+		t.Errorf("wire report differs from batch netsim.Run\n--- wire ---\n%s--- batch ---\n%s", got, want)
+	}
+
+	// The wire stream must appear on the status surface as done.
+	streams := sv.Streams()
+	if len(streams) != 1 {
+		t.Fatalf("server has %d streams, want 1", len(streams))
+	}
+	if s := streams[0].State(); s != StateDone {
+		t.Errorf("wire stream state %v, want done", s)
+	}
+	if streams[0].Files() != uint64(len(files)) {
+		t.Errorf("wire stream scored %d files, want %d", streams[0].Files(), len(files))
+	}
+}
+
+// TestWireRejectsCorpusScenarios pins the protocol errors: a header
+// naming its own corpus (or replica/pass budgets) is refused, and the
+// client reads the error line back.
+func TestWireRejectsCorpusScenarios(t *testing.T) {
+	sv := NewServer()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go sv.ServeListener(ctx, ln)
+
+	send := func(header string) string {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if _, err := io.WriteString(conn, header+"\n"); err != nil {
+			t.Fatal(err)
+		}
+		reply, err := io.ReadAll(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(reply)
+	}
+
+	if got := send(`{"profile": "smeg.stanford.edu:/u1"}`); !strings.Contains(got, "wire streams carry their own corpus") {
+		t.Errorf("profile header reply = %q", got)
+	}
+	if got := send(`{"channels": ["warp"]}`); !strings.Contains(got, "unknown channels [warp]") {
+		t.Errorf("bad channel header reply = %q", got)
+	}
+	sv.Wait()
+}

@@ -60,10 +60,10 @@ func (o CollectOptions) workers() int {
 }
 
 // Collect is the sharded streaming engine behind every distribution
-// pass: Figures 2–3 and Tables 4–6.  It reuses the splice simulator's
-// worker/drain shape — a walk goroutine feeds a jobs channel, each
-// worker accumulates into a private shard holding no locks, and the
-// shards merge once after the drain.
+// pass: Figures 2–3 and Tables 4–6.  It is the one-shot form of Pool —
+// a walk feeds the bounded job queue, each worker accumulates into a
+// private shard holding no locks, and the shards merge into a fresh
+// result shard at the drain.
 //
 // Determinism contract: file receives the file's walk-order index, so
 // any per-file seeding depends only on corpus order, never on worker
@@ -80,42 +80,26 @@ func Collect[S any](ctx context.Context, w corpus.Walker, opt CollectOptions,
 	file func(shard S, idx int, data []byte),
 	merge func(dst, src S),
 ) (S, error) {
-	nw := opt.workers()
-	type job struct {
-		idx  int
-		data []byte
-	}
-	jobs := make(chan job, nw)
-	shards := make([]S, nw)
-	var wg sync.WaitGroup
-	for i := 0; i < nw; i++ {
-		shards[i] = newShard()
-		wg.Add(1)
-		go func(shard S) {
-			defer wg.Done()
-			for j := range jobs {
-				file(shard, j.idx, j.data)
-				opt.Progress.Observe(len(j.data))
-			}
-		}(shards[i])
-	}
-
+	res := newShard()
+	var mu sync.Mutex
+	pool := NewPool(PoolOptions{Workers: opt.workers(), Progress: opt.Progress},
+		newShard,
+		file,
+		func(shard S) {
+			mu.Lock()
+			merge(res, shard)
+			mu.Unlock()
+		},
+	)
 	idx := 0
 	err := w.Walk(func(path string, data []byte) error {
-		if cerr := ctx.Err(); cerr != nil {
-			return cerr
+		if serr := pool.Submit(ctx, idx, data); serr != nil {
+			return serr
 		}
-		jobs <- job{idx: idx, data: data}
 		idx++
 		return nil
 	})
-	close(jobs)
-	wg.Wait()
-
-	res := shards[0]
-	for _, s := range shards[1:] {
-		merge(res, s)
-	}
+	pool.Drain()
 	return res, err
 }
 

@@ -74,6 +74,41 @@ placement[tcp/drop-burst]: seg_corrupted=1 tcp=0 f255=0 crc32=0 header=0 trailer
 placement[tcp/dup]: seg_corrupted=53 tcp=0 f255=0 crc32=0 header=0 trailer=0
 PLACEMENTS
 
+echo "== cksumd service smoke (scenario run, metrics scrape, graceful shutdown, -race) =="
+# The service path must reproduce the batch pin lines above: cksumd runs
+# the same onescomp scenario as a verification stream, the /metrics
+# scrape must carry the identical shape/placement lines, and SIGINT must
+# drain and exit 0 under the race detector.
+go build -race -o "$tmp/cksumd" ./cmd/cksumd
+cat > "$tmp/onescomp.scenario.json" <<'EOF'
+{"name":"ci-smoke","dir":"internal/onescomp","channels":["drop","drop-ge","drop-burst","dup"],"trials":2,"workers":2}
+EOF
+"$tmp/cksumd" "$tmp/onescomp.scenario.json" > "$tmp/cksumd.log" 2>&1 &
+ckpid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's|^cksumd: metrics on \(http://[^ ]*\)$|\1|p' "$tmp/cksumd.log")"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "cksumd never reported its metrics address"; kill "$ckpid" 2>/dev/null; exit 1; }
+for _ in $(seq 1 300); do
+    "$tmp/cksumd" -scrape "$addr" > "$tmp/cksumd.metrics" 2>/dev/null || true
+    grep -q 'cksumd_streams{state="done"} 1' "$tmp/cksumd.metrics" && break
+    sleep 0.1
+done
+grep '^stream\[0\] shape' "$tmp/cksumd.metrics" > "$tmp/cksumd.shapes" || true
+diff - "$tmp/cksumd.shapes" <<'SHAPES' || { echo "cksumd scrape shape lines differ from the batch pins"; kill "$ckpid" 2>/dev/null; exit 1; }
+stream[0] shape[tcp/drop]: corrupted=4 weakest=tcp(0) tcp=0 crc32=0
+stream[0] shape[tcp/drop-ge]: corrupted=4 weakest=tcp(0) tcp=0 crc32=0
+stream[0] shape[tcp/drop-burst]: corrupted=1 weakest=tcp(0) tcp=0 crc32=0
+stream[0] shape[tcp/dup]: corrupted=54 weakest=tcp(0) tcp=0 crc32=0
+SHAPES
+grep -q 'cksumd_trials_total{stream="0",channel="drop"} 4' "$tmp/cksumd.metrics" \
+    || { echo "cksumd metrics missing the per-channel trial counter"; kill "$ckpid" 2>/dev/null; exit 1; }
+kill -INT "$ckpid"
+wait "$ckpid" || { echo "cksumd did not exit 0 after SIGINT"; exit 1; }
+
 echo "== bench smoke (splice + dist + netsim, scale 0.02) =="
 go run ./cmd/paper -benchjson "$tmp/BENCH_splice.json" -scale 0.02 -benchiters 1
 go run ./cmd/paper -benchdistjson "$tmp/BENCH_dist.json" -scale 0.02 -benchiters 1
