@@ -13,8 +13,10 @@
 //	cksumd -scrape URL
 //
 // Each scenario file is a JSON profile (see internal/scenario): corpus
-// source, fault channels, placements, trial budget, seed, and how to
-// keep running — replica streams, corpus passes, a wall-clock duration.
+// source, fault channels, placements, payload compression ("compress":
+// true runs the internal/lz stage and /status reports the flag per
+// stream), trial budget, seed, and how to keep running — replica
+// streams, corpus passes, a wall-clock duration.
 // A scenario's streams start immediately and run to their budgets; the
 // service then keeps serving metrics (and wire streams, with -listen)
 // until interrupted.  -once exits as soon as every file scenario

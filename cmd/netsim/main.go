@@ -11,6 +11,7 @@
 //	       [-mode tcp|udpfrag]
 //	       [-channels drop,drop-ge,drop-burst,bitflip,burst,reorder,misinsert,dup]
 //	       [-placement e2e,segment]
+//	       [-compress]
 //	       [-trials 6] [-seed 0] [-workers N]
 //
 // The flags are aliases over a scenario.Scenario — the same declarative
@@ -26,9 +27,13 @@
 // selects the checksum placements scored (default both in tcp mode):
 // e2e treats each algorithm as one checksum over the whole AAL5 PDU,
 // segment scores it per TCP segment and adds the header-vs-trailer
-// field-position contrast for the TCP sum.  Output is byte-identical at
-// any -workers count, and to a cksumd stream of the same scenario at
-// the same seed.
+// field-position contrast for the TCP sum.  -compress passes every
+// corpus file through the internal/lz payload stage before transport
+// encoding, so the injected faults hit near-uniform bytes — the
+// paper's Table 7 axis; the report header then carries the per-file
+// compression-ratio stats and every pin line is relabeled "+lz".
+// Output is byte-identical at any -workers count, and to a cksumd
+// stream of the same scenario at the same seed.
 package main
 
 import (
@@ -51,6 +56,7 @@ func main() {
 	mode := flag.String("mode", "tcp", "transport encoding: tcp (one packet per PDU) or udpfrag (UDP datagrams + IP fragmentation)")
 	channels := flag.String("channels", "", "comma-separated fault channels (default: all of "+strings.Join(netsim.ChannelNames(), ",")+")")
 	placement := flag.String("placement", "", "comma-separated checksum placements (default: all of "+strings.Join(netsim.PlacementNames(), ",")+"; segment applies to tcp mode only)")
+	compress := flag.Bool("compress", false, "lz-compress each corpus file before transport encoding (the Table 7 axis)")
 	trials := flag.Int("trials", 0, "trials per (file × channel) (default 6)")
 	seed := flag.Uint64("seed", 0, "root seed; every trial's fault pattern derives from it")
 	workers := flag.Int("workers", 0, "parallel workers (default GOMAXPROCS; output is identical at any count)")
@@ -88,6 +94,8 @@ func main() {
 			sc.Channels = strings.Split(*channels, ",")
 		case "placement":
 			sc.Placements = strings.Split(*placement, ",")
+		case "compress":
+			sc.Compress = *compress
 		case "trials":
 			sc.Trials = *trials
 		case "seed":

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"realsum/internal/corpus"
+	"realsum/internal/lz"
 	"realsum/internal/netsim"
 )
 
@@ -37,6 +38,35 @@ type benchNetsimRecord struct {
 	// removed — ≈0.01 for the three matched drop channels, 0 for the
 	// payload-damage channels, negative for duplication (cells added).
 	CellLossRate float64 `json:"cell_loss_rate"`
+	// Compressed marks runs that pushed each file through the
+	// internal/lz payload stage before packetization (the Table 7
+	// axis).  CompressRatio is that run's aggregate compressed/raw byte
+	// ratio, and CompressMBPerS the standalone throughput of the lz
+	// stage over this corpus (raw MB consumed per second), timed once
+	// per invocation and repeated on every compressed record.
+	Compressed     bool    `json:"compressed,omitempty"`
+	CompressRatio  float64 `json:"compress_ratio,omitempty"`
+	CompressMBPerS float64 `json:"compress_mb_per_s,omitempty"`
+}
+
+// benchCompressor times the lz stage alone over the scaled corpus,
+// returning raw MB/s consumed — the price of the compression axis
+// independent of any channel or checksum work.
+func benchCompressor(scale float64, seed uint64) float64 {
+	p := corpus.StanfordU1().Scale(scale)
+	p.Seed ^= seed
+	fs := p.Build()
+	c := lz.NewCompressor()
+	var buf []byte
+	var raw uint64
+	start := time.Now()
+	fs.Walk(func(_ string, data []byte) error {
+		c.Reset()
+		buf = c.Compress(buf[:0], data)
+		raw += uint64(len(data))
+		return nil
+	})
+	return float64(raw) / time.Since(start).Seconds() / 1e6
 }
 
 // runBenchNetsimJSON times the netsim pipeline per (fault model ×
@@ -54,60 +84,78 @@ func runBenchNetsimJSON(ctx context.Context, path string, scale float64, seed ui
 		workerCounts = append(workerCounts, maxw)
 	}
 
+	lzMBPerS := benchCompressor(scale, seed)
+	fmt.Fprintf(os.Stderr, "[benchnetsim lz stage: %.1f raw MB/s]\n", lzMBPerS)
+
 	var records []benchNetsimRecord
 	for _, spec := range netsim.DefaultChannels() {
 		for _, pl := range placements {
-			var oneWorkerNs float64
-			for _, nw := range workerCounts {
-				var trials, bytes, cellsSent, cellsDelivered uint64
-				runtime.GC()
-				var m0, m1 runtime.MemStats
-				runtime.ReadMemStats(&m0)
-				start := time.Now()
-				for it := 0; it < iters; it++ {
-					p := corpus.StanfordU1().Scale(scale)
-					p.Seed ^= seed
-					tally, err := netsim.Run(ctx, p.Build(), netsim.Config{
-						Seed:       seed,
-						Channels:   []netsim.ChannelSpec{spec},
-						Placements: []netsim.Placement{pl},
-						Workers:    nw,
-					})
-					if err != nil {
-						return err
+			for _, compress := range []bool{false, true} {
+				var oneWorkerNs float64
+				for _, nw := range workerCounts {
+					var trials, bytes, cellsSent, cellsDelivered uint64
+					var rawB, compB uint64
+					runtime.GC()
+					var m0, m1 runtime.MemStats
+					runtime.ReadMemStats(&m0)
+					start := time.Now()
+					for it := 0; it < iters; it++ {
+						p := corpus.StanfordU1().Scale(scale)
+						p.Seed ^= seed
+						tally, err := netsim.Run(ctx, p.Build(), netsim.Config{
+							Seed:       seed,
+							Channels:   []netsim.ChannelSpec{spec},
+							Placements: []netsim.Placement{pl},
+							Workers:    nw,
+							Compress:   compress,
+						})
+						if err != nil {
+							return err
+						}
+						trials += tally.Channels[0].Trials
+						bytes += tally.Channels[0].Bytes
+						cellsSent += tally.Channels[0].CellsSent
+						cellsDelivered += tally.Channels[0].CellsDelivered
+						rawB += tally.Comp.RawBytes
+						compB += tally.Comp.CompBytes
 					}
-					trials += tally.Channels[0].Trials
-					bytes += tally.Channels[0].Bytes
-					cellsSent += tally.Channels[0].CellsSent
-					cellsDelivered += tally.Channels[0].CellsDelivered
-				}
-				elapsed := time.Since(start)
-				runtime.ReadMemStats(&m1)
+					elapsed := time.Since(start)
+					runtime.ReadMemStats(&m1)
 
-				sec := elapsed.Seconds()
-				nsPerOp := float64(elapsed.Nanoseconds()) / float64(iters)
-				rec := benchNetsimRecord{
-					Name:           "netsim_" + spec.Name,
-					Scale:          scale,
-					Placement:      pl.String(),
-					Workers:        nw,
-					Trials:         trials / uint64(iters),
-					TrialsPerS:     float64(trials) / sec,
-					MBPerS:         float64(bytes) / sec / 1e6,
-					AllocsPerTrial: float64(m1.Mallocs-m0.Mallocs) / float64(trials),
+					sec := elapsed.Seconds()
+					nsPerOp := float64(elapsed.Nanoseconds()) / float64(iters)
+					rec := benchNetsimRecord{
+						Name:           "netsim_" + spec.Name,
+						Scale:          scale,
+						Placement:      pl.String(),
+						Workers:        nw,
+						Trials:         trials / uint64(iters),
+						TrialsPerS:     float64(trials) / sec,
+						MBPerS:         float64(bytes) / sec / 1e6,
+						AllocsPerTrial: float64(m1.Mallocs-m0.Mallocs) / float64(trials),
+						Compressed:     compress,
+					}
+					if cellsSent > 0 {
+						rec.CellLossRate = 1 - float64(cellsDelivered)/float64(cellsSent)
+					}
+					if compress && rawB > 0 {
+						rec.CompressRatio = float64(compB) / float64(rawB)
+						rec.CompressMBPerS = lzMBPerS
+					}
+					if nw == 1 {
+						oneWorkerNs = nsPerOp
+					}
+					if oneWorkerNs > 0 {
+						rec.Speedup = oneWorkerNs / nsPerOp
+					}
+					records = append(records, rec)
+					lzTag := ""
+					if compress {
+						lzTag = "+lz"
+					}
+					fmt.Fprintf(os.Stderr, "[benchnetsim %s%s/%s w=%d: %.0f trials/s, %.1f MB/s, %.1f allocs/trial, loss %.4f, speedup %.2fx]\n",
+						rec.Name, lzTag, rec.Placement, nw, rec.TrialsPerS, rec.MBPerS, rec.AllocsPerTrial, rec.CellLossRate, rec.Speedup)
 				}
-				if cellsSent > 0 {
-					rec.CellLossRate = 1 - float64(cellsDelivered)/float64(cellsSent)
-				}
-				if nw == 1 {
-					oneWorkerNs = nsPerOp
-				}
-				if oneWorkerNs > 0 {
-					rec.Speedup = oneWorkerNs / nsPerOp
-				}
-				records = append(records, rec)
-				fmt.Fprintf(os.Stderr, "[benchnetsim %s/%s w=%d: %.0f trials/s, %.1f MB/s, %.1f allocs/trial, loss %.4f, speedup %.2fx]\n",
-					rec.Name, rec.Placement, nw, rec.TrialsPerS, rec.MBPerS, rec.AllocsPerTrial, rec.CellLossRate, rec.Speedup)
 			}
 		}
 	}

@@ -9,19 +9,25 @@ import (
 )
 
 // NetSimData holds the §7 fault-injection results: the TCP/IPv4
-// pipeline over the full default channel battery, and the UDP +
-// IP-fragmentation pipeline over the corruption channels.
+// pipeline over the full default channel battery (raw and
+// lz-compressed payloads), and the UDP + IP-fragmentation pipeline
+// over the corruption channels.
 type NetSimData struct {
 	TCP *netsim.Tally
-	UDP *netsim.Tally
+	// TCPLZ is the TCP pass rerun with the internal/lz payload stage —
+	// the same channels, seed and corpus, near-uniform bytes on the wire.
+	// NetSimReport contrasts it against TCP, the Table 7 axis measured
+	// by injection.
+	TCPLZ *netsim.Tally
+	UDP   *netsim.Tally
 }
 
 // NetSim runs the Monte Carlo end-to-end pipeline over the Stanford /u1
 // profile — the corpus whose zero-run structure drives the paper's §7
-// claims about burst errors and the ones-complement sum.  Both passes
+// claims about burst errors and the ones-complement sum.  All passes
 // are declared as scenario.Scenario profiles — the same objects
 // cmd/netsim flags alias and cmd/cksumd serves — so the experiment, the
-// CLI and the service provably run one code path.  Both inherit the
+// CLI and the service provably run one code path.  All inherit the
 // Config's root seed, worker count and progress plumbing; output is
 // byte-identical at any worker count.
 func NetSim(cfg Config) NetSimData {
@@ -30,7 +36,9 @@ func NetSim(cfg Config) NetSimData {
 	// gap rejection, duplicated cells die at the AAL5 length check, and
 	// the datagram-level story is about what corruption survives
 	// reassembly.  The TCP pass runs the full battery, including the
-	// i.i.d.-vs-correlated loss contrast at matched average rate.
+	// i.i.d.-vs-correlated loss contrast at matched average rate, and
+	// runs twice — raw and lz-compressed payloads — for the Table 7
+	// contrast.
 	profile := corpus.StanfordU1().Name
 	tcpScen := scenario.Scenario{
 		Name:    "paper-netsim-tcp",
@@ -39,6 +47,9 @@ func NetSim(cfg Config) NetSimData {
 		Seed:    cfg.Seed,
 		Workers: cfg.Workers,
 	}
+	lzScen := tcpScen
+	lzScen.Name = "paper-netsim-tcp-lz"
+	lzScen.Compress = true
 	udpScen := scenario.Scenario{
 		Name:     "paper-netsim-udpfrag",
 		Profile:  profile,
@@ -53,18 +64,27 @@ func NetSim(cfg Config) NetSimData {
 	if err != nil {
 		panic(err)
 	}
+	tcpLZ, err := lzScen.Run(cfg.ctx(), cfg.Progress)
+	if err != nil {
+		panic(err)
+	}
 	udp, err := udpScen.Run(cfg.ctx(), cfg.Progress)
 	if err != nil {
 		panic(err)
 	}
-	return NetSimData{TCP: tcp, UDP: udp}
+	return NetSimData{TCP: tcp, TCPLZ: tcpLZ, UDP: udp}
 }
 
-// NetSimReport renders both tallies.
+// NetSimReport renders the tallies plus the raw-vs-compressed contrast
+// section.
 func NetSimReport(d NetSimData) string {
 	var b strings.Builder
 	b.WriteString("NetSim: Monte Carlo fault injection, §7 alternative error models\n")
 	b.WriteString(d.TCP.Report())
+	b.WriteByte('\n')
+	b.WriteString(d.TCPLZ.Report())
+	b.WriteByte('\n')
+	b.WriteString(netsim.RawVsCompressedReport(d.TCP, d.TCPLZ))
 	b.WriteByte('\n')
 	b.WriteString(d.UDP.Report())
 	return b.String()

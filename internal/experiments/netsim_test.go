@@ -72,6 +72,43 @@ func TestNetSimShapeClaims(t *testing.T) {
 	if !strings.Contains(NetSimReport(d), "i.i.d. vs correlated cell loss at matched average rate") {
 		t.Error("NetSimReport missing the loss-contrast section")
 	}
+
+	// The Table 7 axis at experiment scale: the compressed pass ran the
+	// same battery, its ratio stats landed, and the rendered report
+	// carries both the +lz pin lines and the raw-vs-compressed contrast
+	// section, with the bellwether burst misses collapsing toward the
+	// uniform floor.
+	if d.TCPLZ == nil || !d.TCPLZ.Compressed {
+		t.Fatal("NetSim did not run the compressed TCP pass")
+	}
+	if d.TCPLZ.Comp.Files == 0 || d.TCPLZ.Comp.MeanRatio() <= 0 || d.TCPLZ.Comp.MeanRatio() >= 1 {
+		t.Errorf("compressed pass ratio stats: %+v", d.TCPLZ.Comp)
+	}
+	// Convergence is asserted on the per-segment span: the e2e span
+	// includes the AAL5 zero padding, where a solid burst cancels in the
+	// ones-complement sum regardless of payload content, flooring the
+	// e2e rate at the padding fraction.
+	rawBurst, _ := d.TCP.Channel("burst")
+	lzBurst, _ := d.TCPLZ.Channel("burst")
+	rawTCP, _ := rawBurst.Placement(netsim.PlaceSegment.String()).Algo("tcp")
+	lzTCP, _ := lzBurst.Placement(netsim.PlaceSegment.String()).Algo("tcp")
+	if rawTCP.Undetected == 0 {
+		t.Fatal("raw burst pass: tcp missed nothing at scale 0.1")
+	}
+	if lzTCP.Undetected > rawTCP.Undetected/8 {
+		t.Errorf("tcp burst misses did not converge: raw=%d lz=%d", rawTCP.Undetected, lzTCP.Undetected)
+	}
+	report := NetSimReport(d)
+	for _, want := range []string{
+		"shape[tcp+lz/burst]",
+		"raw vs lz-compressed payload",
+		"compress[tcp/burst]:",
+		"lz payload stage:",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("NetSimReport missing %q", want)
+		}
+	}
 }
 
 // TestNetSimSeedChangesResults: the root seed must actually reach the

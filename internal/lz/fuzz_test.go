@@ -1,0 +1,68 @@
+package lz
+
+import (
+	"bytes"
+	"testing"
+
+	"realsum/internal/corpus"
+)
+
+// FuzzLZRoundTrip drives the codec three ways per input:
+//
+//  1. compress→decompress must be the identity for arbitrary data;
+//  2. the decompressor must never panic on the input treated as a raw
+//     token stream, and on success must honor the declared length;
+//  3. every truncation of the valid compressed form must be rejected
+//     (a shorter stream cannot produce the declared byte count), again
+//     without panicking or growing dst past the declaration.
+//
+// The f.Add seeds span the synthetic corpus populations (checked-in
+// counterparts live in testdata/fuzz/FuzzLZRoundTrip), so the fuzzer
+// starts from the byte shapes netsim actually compresses — zero runs,
+// 0x00/0xFF alternation, English text, near-uniform LZW output.
+func FuzzLZRoundTrip(f *testing.F) {
+	for _, ft := range []corpus.FileType{
+		corpus.EnglishText, corpus.GmonOut, corpus.WordProcessor,
+		corpus.PBMImage, corpus.Compressed, corpus.UniformRandom,
+	} {
+		f.Add(corpus.NewFileSpec(ft, 600, 5).Generate(), uint16(0))
+	}
+	f.Add([]byte{}, uint16(0))
+	f.Add([]byte{0x80, 0x00, 0x00}, uint16(1))
+	f.Add(bytes.Repeat([]byte{0}, 300), uint16(7))
+
+	c := NewCompressor()
+	f.Fuzz(func(t *testing.T, data []byte, cut uint16) {
+		// 1. Identity.
+		c.Reset()
+		comp := c.Compress(nil, data)
+		if len(comp) > MaxCompressedLen(len(data)) {
+			t.Fatalf("compressed %d bytes to %d, beyond MaxCompressedLen %d",
+				len(data), len(comp), MaxCompressedLen(len(data)))
+		}
+		out, err := Decompress(nil, comp)
+		if err != nil {
+			t.Fatalf("decompress of own output: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip changed %d bytes", len(data))
+		}
+
+		// 2. Arbitrary bytes as a token stream: any verdict, no panic,
+		// and an accepted stream must produce exactly its declared length.
+		if got, err := Decompress(nil, data); err == nil {
+			want, _ := DecompressedLen(data)
+			if len(got) != want {
+				t.Fatalf("accepted stream produced %d bytes, declared %d", len(got), want)
+			}
+		}
+
+		// 3. Truncations of a valid stream must all be rejected.
+		if len(comp) > 0 {
+			k := int(cut) % len(comp)
+			if _, err := Decompress(nil, comp[:k]); err == nil {
+				t.Fatalf("truncation at %d of %d accepted", k, len(comp))
+			}
+		}
+	})
+}

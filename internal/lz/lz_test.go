@@ -1,0 +1,273 @@
+package lz
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"realsum/internal/corpus"
+)
+
+// roundTrip compresses data with c (Reset first) and decompresses the
+// result, failing the test on any mismatch.  Returns the compressed
+// size.
+func roundTrip(t *testing.T, c *Compressor, data []byte) int {
+	t.Helper()
+	c.Reset()
+	comp := c.Compress(nil, data)
+	if comp == nil {
+		t.Fatal("Compress returned nil")
+	}
+	if n, err := DecompressedLen(comp); err != nil || n != len(data) {
+		t.Fatalf("DecompressedLen = %d, %v, want %d", n, err, len(data))
+	}
+	out, err := Decompress(nil, comp)
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatalf("round trip of %d bytes produced %d differing bytes", len(data), len(out))
+	}
+	return len(comp)
+}
+
+// TestRoundTripCorpusOracle is the differential oracle the tentpole
+// demands: every synthetic file population the corpus generates —
+// including the §5.5 pathologies whose structure LZ exploits hardest —
+// must round-trip byte-identically, at several sizes, through one
+// Reset-reused Compressor.
+func TestRoundTripCorpusOracle(t *testing.T) {
+	c := NewCompressor()
+	for _, ft := range corpus.AllFileTypes() {
+		for _, size := range []int{0, 1, 3, 47, 256, 4096, 70000} {
+			data := corpus.NewFileSpec(ft, size, 0xC0FFEE^uint64(size)).Generate()
+			n := roundTrip(t, c, data)
+			if size >= 4096 {
+				t.Logf("%s/%d: %d -> %d bytes (%.1f%%)", ft, size, len(data), n, 100*float64(n)/float64(len(data)))
+			}
+		}
+	}
+}
+
+// TestRoundTripStructuredInputs covers the token-format corners:
+// all-zero (RLE via overlapping matches), alternating runs, strides
+// longer than a literal run, inputs shorter than MinMatch, and matches
+// at exactly the window distance.
+func TestRoundTripStructuredInputs(t *testing.T) {
+	c := NewCompressor()
+	period := make([]byte, 3*WindowSize)
+	for i := range period {
+		period[i] = byte(i / 97)
+	}
+	winEdge := make([]byte, 2*WindowSize+64)
+	copy(winEdge, "edge-marker-0123")
+	copy(winEdge[WindowSize:], "edge-marker-0123") // match at distance exactly WindowSize
+	cases := [][]byte{
+		nil,
+		{},
+		{0x42},
+		[]byte("abc"),
+		[]byte("abcd"),
+		bytes.Repeat([]byte{0}, 100000),
+		bytes.Repeat([]byte{0xFF, 0x00}, 5000),
+		bytes.Repeat([]byte("the quick brown fox "), 400),
+		period,
+		winEdge,
+	}
+	for i, data := range cases {
+		n := roundTrip(t, c, data)
+		if len(data) >= 1000 && n >= len(data) {
+			t.Errorf("case %d: highly repetitive %d-byte input did not compress (%d bytes out)", i, len(data), n)
+		}
+	}
+}
+
+// TestRoundTripRandomLengths fuzzes sizes and content classes with a
+// deterministic RNG — uniform bytes (incompressible), low-entropy
+// bytes, and zero-dominated bytes.
+func TestRoundTripRandomLengths(t *testing.T) {
+	c := NewCompressor()
+	rng := rand.New(rand.NewPCG(7, 7))
+	for i := 0; i < 200; i++ {
+		n := rng.IntN(20000)
+		data := make([]byte, n)
+		switch i % 3 {
+		case 0:
+			for j := range data {
+				data[j] = byte(rng.Uint64())
+			}
+		case 1:
+			for j := range data {
+				data[j] = byte(rng.IntN(4))
+			}
+		case 2:
+			for j := range data {
+				if rng.IntN(10) == 0 {
+					data[j] = byte(rng.Uint64())
+				}
+			}
+		}
+		roundTrip(t, c, data)
+	}
+}
+
+// TestCompressionRatios pins the qualitative Table 7 premise the netsim
+// stage depends on: real-data shapes compress hard, uniform random does
+// not, and the worst-case expansion stays within MaxCompressedLen.
+func TestCompressionRatios(t *testing.T) {
+	c := NewCompressor()
+	zero := corpus.NewFileSpec(corpus.GmonOut, 32768, 1).Generate()
+	c.Reset()
+	nz := len(c.Compress(nil, zero))
+	if r := float64(nz) / float64(len(zero)); r > 0.25 {
+		t.Errorf("gmon.out profile compressed to %.1f%%, want well under 25%%", 100*r)
+	}
+	uni := corpus.NewFileSpec(corpus.UniformRandom, 32768, 1).Generate()
+	c.Reset()
+	nu := len(c.Compress(nil, uni))
+	if nu > MaxCompressedLen(len(uni)) {
+		t.Errorf("uniform random expanded to %d bytes, beyond MaxCompressedLen %d", nu, MaxCompressedLen(len(uni)))
+	}
+	if nu < len(uni)*99/100 {
+		t.Errorf("uniform random 'compressed' to %d of %d bytes; the ratio floor is wrong", nu, len(uni))
+	}
+}
+
+// TestWhitenedStreamNearUniform pins the wire-image property the
+// netsim compression axis rests on: even for the degenerate input — a
+// long zero run, which the matcher encodes as thousands of identical
+// match tokens — the whitened stream has no dominant byte value and no
+// short periodicity, so injected faults hit unstructured bytes.
+func TestWhitenedStreamNearUniform(t *testing.T) {
+	c := NewCompressor()
+	comp := c.Compress(nil, make([]byte, 1<<20))
+	if len(comp) < 4096 {
+		t.Fatalf("zero-run stream only %d bytes; histogram too small to judge", len(comp))
+	}
+	var hist [256]int
+	for _, b := range comp {
+		hist[b]++
+	}
+	limit := 4 * len(comp) / 256 // 4x the uniform expectation
+	for v, n := range hist {
+		if n > limit {
+			t.Errorf("byte 0x%02X appears %d of %d times (uniform expectation %d); stream is structured",
+				v, n, len(comp), len(comp)/256)
+		}
+	}
+	// No 3-byte periodicity: the unwhitened encoding of a zero run is
+	// the same token every 3 bytes, so comp[i] == comp[i+3] for nearly
+	// all i.  Whitened, matches at lag 3 must sit near the 1/256 chance.
+	same := 0
+	for i := 0; i+3 < len(comp); i++ {
+		if comp[i] == comp[i+3] {
+			same++
+		}
+	}
+	if same > len(comp)/32 {
+		t.Errorf("lag-3 byte matches %d of %d (chance ~%d); the token periodicity survived whitening",
+			same, len(comp), len(comp)/256)
+	}
+}
+
+// TestDecompressRejectsCorrupt walks the malformed-stream cases: the
+// decompressor must return ErrCorrupt (wrapped), leave dst at its
+// original length, and never panic or produce more than the declared
+// length.
+func TestDecompressRejectsCorrupt(t *testing.T) {
+	c := NewCompressor()
+	data := bytes.Repeat([]byte("corrupt-stream-seed "), 300)
+	comp := c.Compress(nil, data)
+
+	cases := map[string][]byte{
+		"empty":            {},
+		"header-only":      comp[:1],
+		"bad-uvarint":      bytes.Repeat([]byte{0x80}, 12),
+		"huge-declared":    append([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}, 0x00, 0x41),
+		"truncated-lits":   append([]byte{4}, 0x7F), // declares 4 raw bytes, 128-literal run, none present
+		"truncated-match":  append([]byte{8}, 0x80),
+		"distance-too-far": append([]byte{8}, 0x83, 0xFF, 0xFF),
+		"short-production": comp[:len(comp)-1],
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			prefix := []byte("sticky")
+			out, err := Decompress(prefix, in)
+			if err == nil {
+				t.Fatalf("Decompress accepted %q", name)
+			}
+			if !bytes.Equal(out, prefix) {
+				t.Errorf("dst not truncated back on error: %d bytes (want the 6-byte prefix)", len(out))
+			}
+		})
+	}
+
+	// Every truncation point of a real stream must be rejected (or, for
+	// the full stream, accepted) without panicking.
+	for cut := 0; cut < len(comp); cut++ {
+		if _, err := Decompress(nil, comp[:cut]); err == nil {
+			t.Fatalf("truncation at %d of %d accepted", cut, len(comp))
+		}
+	}
+}
+
+// TestAppendSemantics: both directions append to their dst and leave
+// existing bytes alone — the buffer-reuse contract netsim relies on.
+func TestAppendSemantics(t *testing.T) {
+	c := NewCompressor()
+	data := []byte("appended payload, appended payload")
+	comp := c.Compress([]byte("HDR"), data)
+	if !bytes.HasPrefix(comp, []byte("HDR")) {
+		t.Fatal("Compress overwrote dst prefix")
+	}
+	out, err := Decompress([]byte("PFX"), comp[3:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "PFX"+string(data) {
+		t.Fatalf("Decompress append produced %q", out)
+	}
+}
+
+// TestResetIsolation: compressing file B after file A must yield the
+// same bytes as compressing B on a fresh Compressor — Reset severs
+// every chain, so no match can refer across files.
+func TestResetIsolation(t *testing.T) {
+	a := bytes.Repeat([]byte("file A contents "), 200)
+	b := bytes.Repeat([]byte("file B differs! "), 200)
+	shared := NewCompressor()
+	shared.Reset()
+	shared.Compress(nil, a)
+	shared.Reset()
+	got := shared.Compress(nil, b)
+	want := NewCompressor().Compress(nil, b)
+	if !bytes.Equal(got, want) {
+		t.Error("compressed form of B depends on having compressed A first")
+	}
+}
+
+// TestZeroSteadyStateAllocs guards the shard lifecycle: with warmed
+// buffers, Reset+Compress and Decompress allocate nothing.
+func TestZeroSteadyStateAllocs(t *testing.T) {
+	c := NewCompressor()
+	data := corpus.NewFileSpec(corpus.CSource, 16384, 3).Generate()
+	compBuf := make([]byte, 0, MaxCompressedLen(len(data)))
+	rawBuf := make([]byte, 0, len(data))
+
+	if allocs := testing.AllocsPerRun(20, func() {
+		c.Reset()
+		compBuf = c.Compress(compBuf[:0], data)
+	}); allocs != 0 {
+		t.Errorf("Compress: %v allocs per file, want 0", allocs)
+	}
+	comp := c.Compress(compBuf[:0], data)
+	if allocs := testing.AllocsPerRun(20, func() {
+		var err error
+		rawBuf, err = Decompress(rawBuf[:0], comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("Decompress: %v allocs per file, want 0", allocs)
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"realsum/internal/corpus"
 	"realsum/internal/crc"
 	"realsum/internal/ipfrag"
+	"realsum/internal/lz"
 	"realsum/internal/onescomp"
 	"realsum/internal/sim"
 	"realsum/internal/tcpip"
@@ -87,6 +88,14 @@ type Config struct {
 	MTU int
 	// Trials is the trial count per (file × channel) (default 6).
 	Trials int
+	// Compress enables the LZ payload stage: every corpus file is
+	// lz-compressed before transport encoding, so the cell train the
+	// faults hit carries near-uniform bytes — the paper's Table 7 remedy
+	// exercised end to end.  Compression is a pure function of the file
+	// (no RNG, no clock), so per-trial seeds and worker-count
+	// determinism are untouched; per-file ratio stats land in
+	// Tally.Comp.
+	Compress bool
 	// Seed is the root seed every per-trial seed derives from.
 	Seed uint64
 	// Channels is the fault battery (default DefaultChannels).
@@ -219,6 +228,11 @@ type worker struct {
 	// the enabled placements (-1 when disabled).
 	e2eIdx, segIdx int
 
+	// Compression stage (cfg.Compress): one Reset-per-file compressor
+	// and its reused output buffer — the per-file cost, never per-trial.
+	comp    *lz.Compressor
+	compBuf []byte
+
 	// Sender state for the current file.
 	pduArena []byte // concatenated sent PDUs (cell payloads incl. padding + trailer)
 	pduOff   []int  // PDU k spans pduArena[pduOff[k]:pduOff[k+1]]
@@ -260,8 +274,13 @@ func newWorker(cfg Config) *worker {
 		}
 	}
 	pcg := rand.NewPCG(0, 0)
+	var comp *lz.Compressor
+	if cfg.Compress {
+		comp = lz.NewCompressor()
+	}
 	return &worker{
 		cfg:    cfg,
+		comp:   comp,
 		algos:  cfg.algorithms(),
 		chans:  chans,
 		tally:  NewTally(cfg),
@@ -274,8 +293,17 @@ func newWorker(cfg Config) *worker {
 }
 
 // file runs every (channel × trial) combination over one corpus file.
+// With cfg.Compress set the file passes through the LZ stage first, so
+// the transported payload — and everything downstream: sent sums, cell
+// train, fault targets — is the compressed byte stream.
 func (w *worker) file(idx int, data []byte) {
 	w.reset()
+	if w.cfg.Compress {
+		w.comp.Reset()
+		w.compBuf = w.comp.Compress(w.compBuf[:0], data)
+		w.tally.Comp.add(uint64(len(data)), uint64(len(w.compBuf)))
+		data = w.compBuf
+	}
 	switch w.cfg.Mode {
 	case ModeUDPFrag:
 		w.buildUDP(data)

@@ -176,13 +176,94 @@ func (c *ChannelTally) scoring() *PlacementTally {
 	return nil
 }
 
+// CompStats aggregates the LZ payload stage's per-file outcomes: how
+// many files were compressed, the byte totals on both sides, and the
+// extreme per-file ratios.  The extremes are held as exact (comp, raw)
+// byte pairs and compared by cross-multiplication, so Merge stays
+// commutative bit-for-bit: equal real ratios divide to the same float64
+// regardless of which file's pair survived the merge.
+type CompStats struct {
+	Files     uint64
+	RawBytes  uint64
+	CompBytes uint64
+
+	// MinComp/MinRaw is the (compressed, raw) byte pair of the file with
+	// the smallest ratio; MaxComp/MaxRaw the largest.  MinRaw == 0 means
+	// no non-empty file has been recorded.
+	MinComp, MinRaw uint64
+	MaxComp, MaxRaw uint64
+}
+
+// add records one compressed file.  Empty files count toward the
+// totals but carry no ratio.
+func (s *CompStats) add(raw, comp uint64) {
+	s.Files++
+	s.RawBytes += raw
+	s.CompBytes += comp
+	if raw == 0 {
+		return
+	}
+	if s.MinRaw == 0 || comp*s.MinRaw < s.MinComp*raw {
+		s.MinComp, s.MinRaw = comp, raw
+	}
+	if s.MaxRaw == 0 || comp*s.MaxRaw > s.MaxComp*raw {
+		s.MaxComp, s.MaxRaw = comp, raw
+	}
+}
+
+func (s *CompStats) merge(o *CompStats) {
+	s.Files += o.Files
+	s.RawBytes += o.RawBytes
+	s.CompBytes += o.CompBytes
+	if o.MinRaw != 0 && (s.MinRaw == 0 || o.MinComp*s.MinRaw < s.MinComp*o.MinRaw) {
+		s.MinComp, s.MinRaw = o.MinComp, o.MinRaw
+	}
+	if o.MaxRaw != 0 && (s.MaxRaw == 0 || o.MaxComp*s.MaxRaw > s.MaxComp*o.MaxRaw) {
+		s.MaxComp, s.MaxRaw = o.MaxComp, o.MaxRaw
+	}
+}
+
+// MinRatio, MeanRatio and MaxRatio report compressed/raw byte ratios;
+// the mean is byte-weighted (total compressed over total raw).  All
+// return 0 when nothing with bytes has been recorded.
+func (s *CompStats) MinRatio() float64 { return ratio(s.MinComp, s.MinRaw) }
+
+// MeanRatio is CompBytes/RawBytes — the corpus-weighted ratio.
+func (s *CompStats) MeanRatio() float64 { return ratio(s.CompBytes, s.RawBytes) }
+
+// MaxRatio is the largest per-file ratio recorded.
+func (s *CompStats) MaxRatio() float64 { return ratio(s.MaxComp, s.MaxRaw) }
+
+func ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
 // Tally is the merged result of a netsim run: per (channel × placement
 // × algorithm) outcome counts.  Every field is an order-independent
 // counter, so Merge is commutative and the engine's sharded
 // accumulation yields the same Tally at any worker count.
 type Tally struct {
-	Mode     string
+	Mode string
+	// Compressed records whether the run's payloads passed the LZ stage;
+	// it relabels the report ("tcp+lz") and enables the Comp header.
+	Compressed bool
+	// Comp holds the LZ stage's per-file ratio stats (zero when
+	// Compressed is false).
+	Comp     CompStats
 	Channels []ChannelTally
+}
+
+// label names the run for report titles and pin lines: the transport
+// mode, suffixed "+lz" when the payload passed the compression stage —
+// so raw and compressed pins never collide in grep.
+func (t *Tally) label() string {
+	if t.Compressed {
+		return t.Mode + "+lz"
+	}
+	return t.Mode
 }
 
 // NewTally builds an empty tally shaped for cfg — the aggregate a
@@ -190,7 +271,9 @@ type Tally struct {
 // Shard built from the same cfg, so Shard.Flush never panics.
 func NewTally(cfg Config) *Tally {
 	channels, algos, placements := cfg.tallyNames()
-	return newTally(cfg.Mode.String(), channels, algos, placements)
+	t := newTally(cfg.Mode.String(), channels, algos, placements)
+	t.Compressed = cfg.Compress
+	return t
 }
 
 // newTally builds an empty tally shaped for the channel, algorithm and
@@ -221,6 +304,10 @@ func (t *Tally) Merge(o *Tally) {
 	if len(t.Channels) != len(o.Channels) {
 		panic(fmt.Sprintf("netsim: merging tallies with %d vs %d channels", len(t.Channels), len(o.Channels)))
 	}
+	if t.Compressed != o.Compressed {
+		panic("netsim: merging a compressed tally into a raw one")
+	}
+	t.Comp.merge(&o.Comp)
 	for i := range t.Channels {
 		if len(t.Channels[i].Placements) != len(o.Channels[i].Placements) {
 			panic(fmt.Sprintf("netsim: merging channel %s with %d vs %d placements",
@@ -234,6 +321,7 @@ func (t *Tally) Merge(o *Tally) {
 // second half of the batched-merge cycle: flush merges a shard's counts
 // into the aggregate, Reset empties the shard for the next batch.
 func (t *Tally) Reset() {
+	t.Comp = CompStats{}
 	for i := range t.Channels {
 		c := &t.Channels[i]
 		name, placements := c.Name, c.Placements
@@ -254,7 +342,8 @@ func (t *Tally) Reset() {
 // Clone deep-copies the tally — the snapshot a metrics scrape renders
 // while the stream keeps merging batches into the original.
 func (t *Tally) Clone() *Tally {
-	o := &Tally{Mode: t.Mode, Channels: append([]ChannelTally(nil), t.Channels...)}
+	o := &Tally{Mode: t.Mode, Compressed: t.Compressed, Comp: t.Comp,
+		Channels: append([]ChannelTally(nil), t.Channels...)}
 	for i := range o.Channels {
 		pls := append([]PlacementTally(nil), o.Channels[i].Placements...)
 		for pi := range pls {
@@ -319,8 +408,16 @@ func (t *Tally) Shapes() []Shape {
 func (t *Tally) Report() string {
 	var b strings.Builder
 
+	if t.Compressed {
+		b.WriteString(fmt.Sprintf(
+			"lz payload stage: %d files, %s -> %s bytes, ratio min=%s mean=%s max=%s\n\n",
+			t.Comp.Files, report.Count(t.Comp.RawBytes), report.Count(t.Comp.CompBytes),
+			report.Percent(t.Comp.MinRatio()), report.Percent(t.Comp.MeanRatio()),
+			report.Percent(t.Comp.MaxRatio())))
+	}
+
 	sum := report.Table{
-		Title: fmt.Sprintf("netsim %s: channel outcomes", t.Mode),
+		Title: fmt.Sprintf("netsim %s: channel outcomes", t.label()),
 		Headers: []string{"channel", "trials", "pkts", "cells", "delivered",
 			"PDUs", "intact", "corrupted", "lost"},
 	}
@@ -343,10 +440,10 @@ func (t *Tally) Report() string {
 			}
 			if p.Name == PlaceE2E.String() {
 				at.Title = fmt.Sprintf("netsim %s · %s: undetected corruptions per algorithm (%s corrupted PDUs)",
-					t.Mode, c.Name, report.Count(p.Corrupted))
+					t.label(), c.Name, report.Count(p.Corrupted))
 			} else {
 				at.Title = fmt.Sprintf("netsim %s · %s: undetected corruptions per algorithm, per-segment placement (%s corrupted segments)",
-					t.Mode, c.Name, report.Count(p.Corrupted))
+					t.label(), c.Name, report.Count(p.Corrupted))
 			}
 			for _, a := range p.Algos {
 				at.AddRow(a.Name, report.Count(a.Detected), report.Count(a.Undetected), report.Percent(a.MissRate()))
@@ -381,7 +478,7 @@ func (t *Tally) ShapeLines() []string {
 	out := make([]string, 0, len(t.Channels))
 	for _, s := range t.Shapes() {
 		out = append(out, fmt.Sprintf("shape[%s/%s]: corrupted=%d weakest=%s(%d) tcp=%d crc32=%d",
-			t.Mode, s.Channel, s.Corrupted, s.Weakest, s.WeakestUndetect, s.TCPUndetected, s.CRC32Undetected))
+			t.label(), s.Channel, s.Corrupted, s.Weakest, s.WeakestUndetect, s.TCPUndetected, s.CRC32Undetected))
 	}
 	return out
 }
@@ -400,7 +497,7 @@ func (t *Tally) PlacementLines() []string {
 		f255, _ := seg.Algo("f255")
 		crc, _ := seg.Algo("crc32")
 		out = append(out, fmt.Sprintf("placement[%s/%s]: seg_corrupted=%d tcp=%d f255=%d crc32=%d header=%d trailer=%d",
-			t.Mode, c.Name, seg.Corrupted, tcp.Undetected, f255.Undetected, crc.Undetected,
+			t.label(), c.Name, seg.Corrupted, tcp.Undetected, f255.Undetected, crc.Undetected,
 			seg.HeaderPos.Undetected, seg.TrailerPos.Undetected))
 	}
 	return out
@@ -423,7 +520,7 @@ func (t *Tally) lossContrastReport() string {
 		return ""
 	}
 	tb := report.Table{
-		Title: fmt.Sprintf("netsim %s: i.i.d. vs correlated cell loss at matched average rate", t.Mode),
+		Title: fmt.Sprintf("netsim %s: i.i.d. vs correlated cell loss at matched average rate", t.label()),
 		Headers: []string{"channel", "cell loss", "lost pkts", "splices",
 			"framing", "AAL5 CRC", "header", "checksum", "acc-corrupt", "tcp miss", "crc32 miss"},
 	}
@@ -471,7 +568,7 @@ func (t *Tally) placementContrastReport() string {
 		return ""
 	}
 	tb := report.Table{
-		Title: fmt.Sprintf("netsim %s: end-to-end vs per-segment checksum placement", t.Mode),
+		Title: fmt.Sprintf("netsim %s: end-to-end vs per-segment checksum placement", t.label()),
 		Headers: []string{"channel", "e2e corrupt", "e2e tcp", "e2e crc32",
 			"seg corrupt", "seg tcp", "seg f255", "seg crc32", "tcp@header", "tcp@trailer"},
 	}

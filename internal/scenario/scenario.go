@@ -56,6 +56,11 @@ type Scenario struct {
 	// placement; "segment" applies to tcp mode only).
 	Placements []string `json:"placements,omitempty"`
 
+	// Compress enables the LZ payload stage: corpus files are
+	// lz-compressed before transport encoding, so the faults hit
+	// near-uniform bytes (the paper's Table 7 axis).
+	Compress bool `json:"compress,omitempty"`
+
 	// Trials per (file × channel) (default 6).
 	Trials int `json:"trials,omitempty"`
 	// Seed is the root seed; every per-trial fault pattern derives from
@@ -215,6 +220,7 @@ func (s Scenario) Config() (netsim.Config, error) {
 		SegmentSize:  s.SegmentSize,
 		DatagramSize: s.DatagramSize,
 		MTU:          s.MTU,
+		Compress:     s.Compress,
 		Trials:       s.Trials,
 		Seed:         s.Seed,
 		Channels:     chans,

@@ -62,6 +62,26 @@ func TestLoadGolden(t *testing.T) {
 		}
 	})
 
+	t.Run("onescomp-lz", func(t *testing.T) {
+		sc, err := Load("testdata/onescomp-lz.json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sc.Compress {
+			t.Error("compress flag did not survive Load")
+		}
+		cfg, err := sc.Config()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cfg.Compress {
+			t.Error("compress flag did not reach netsim.Config")
+		}
+		if len(cfg.Channels) != 2 || cfg.Channels[0].Name != "drop" || cfg.Channels[1].Name != "burst" {
+			t.Errorf("channels = %d entries (want drop,burst)", len(cfg.Channels))
+		}
+	})
+
 	t.Run("udpfrag", func(t *testing.T) {
 		sc, err := Load("testdata/udpfrag.json")
 		if err != nil {
@@ -110,6 +130,39 @@ func TestParseErrors(t *testing.T) {
 				t.Errorf("error %q does not contain %q", err, tc.want)
 			}
 		})
+	}
+}
+
+// TestCompressRoundTrip: the compress field survives Parse → Validate →
+// Config, defaults to off, and misuse still fails loudly (unknown
+// sibling keys rejected alongside it).
+func TestCompressRoundTrip(t *testing.T) {
+	sc, err := Parse(strings.NewReader(`{"profile": "smeg.stanford.edu:/u1", "compress": true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Compress {
+		t.Error("compress=true did not survive Parse")
+	}
+	cfg, err := sc.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Compress {
+		t.Error("compress did not reach netsim.Config")
+	}
+
+	sc, err = Parse(strings.NewReader(`{"profile": "smeg.stanford.edu:/u1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Compress {
+		t.Error("compress defaulted on")
+	}
+
+	if _, err := Parse(strings.NewReader(`{"compress": true, "compres": false}`)); err == nil ||
+		!strings.Contains(err.Error(), `unknown field "compres"`) {
+		t.Errorf("unknown field beside compress: err = %v", err)
 	}
 }
 

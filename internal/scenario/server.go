@@ -210,6 +210,9 @@ type StreamStatus struct {
 	Trials   uint64 `json:"trials"`
 	Error    string `json:"error,omitempty"`
 	Scenario string `json:"scenario,omitempty"`
+	// Compress reports whether the stream's payloads pass the LZ stage
+	// before transport encoding.
+	Compress bool `json:"compress,omitempty"`
 }
 
 // Status snapshots every stream for the /status endpoint.
@@ -223,15 +226,16 @@ func (sv *Server) Status() []StreamStatus {
 			trials += tally.Channels[i].Trials
 		}
 		s := StreamStatus{
-			ID:      st.ID,
-			Name:    st.Scenario.Name,
-			Replica: st.Replica,
-			State:   st.State().String(),
-			Seed:    st.Seed,
-			Files:   st.Files(),
-			Bytes:   st.Bytes(),
-			Passes:  st.Passes(),
-			Trials:  trials,
+			ID:       st.ID,
+			Name:     st.Scenario.Name,
+			Replica:  st.Replica,
+			State:    st.State().String(),
+			Seed:     st.Seed,
+			Files:    st.Files(),
+			Bytes:    st.Bytes(),
+			Passes:   st.Passes(),
+			Trials:   trials,
+			Compress: st.Scenario.Compress,
 		}
 		if err := st.Err(); err != nil {
 			s.Error = err.Error()

@@ -203,8 +203,15 @@ func TestMetricsAndStatus(t *testing.T) {
 		Trials:  1,
 		Seed:    5,
 	}
+	lz := sc
+	lz.Name = "scrape-lz"
+	lz.Compress = true
 	sv := NewServer()
 	streams, err := sv.Add(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lzStreams, err := sv.Add(lz)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,8 +237,8 @@ func TestMetricsAndStatus(t *testing.T) {
 
 	metrics := get("/metrics")
 	for _, w := range []string{
-		"cksumd_streams_total 1",
-		`cksumd_streams{state="done"} 1`,
+		"cksumd_streams_total 2",
+		`cksumd_streams{state="done"} 2`,
 		fmt.Sprintf(`cksumd_files_total{stream="0"} %d`, streams[0].Files()),
 		`cksumd_trials_total{stream="0",channel="drop"}`,
 		`cksumd_undetected_total{stream="0",channel="drop",placement="e2e",algo="crc32"}`,
@@ -247,6 +254,15 @@ func TestMetricsAndStatus(t *testing.T) {
 			t.Errorf("/metrics missing shape line %q", line)
 		}
 	}
+	// The compressed stream's pin lines carry the +lz label.
+	for _, line := range lzStreams[0].Tally().ShapeLines() {
+		if !strings.HasPrefix(line, "shape[tcp+lz/") {
+			t.Errorf("compressed stream shape line %q not labeled tcp+lz", line)
+		}
+		if !strings.Contains(metrics, fmt.Sprintf("stream[%d] %s", lzStreams[0].ID, line)) {
+			t.Errorf("/metrics missing compressed shape line %q", line)
+		}
+	}
 
 	var status struct {
 		UptimeSeconds float64        `json:"uptime_seconds"`
@@ -255,8 +271,8 @@ func TestMetricsAndStatus(t *testing.T) {
 	if err := json.Unmarshal([]byte(get("/status")), &status); err != nil {
 		t.Fatalf("/status is not JSON: %v", err)
 	}
-	if len(status.Streams) != 1 {
-		t.Fatalf("/status has %d streams, want 1", len(status.Streams))
+	if len(status.Streams) != 2 {
+		t.Fatalf("/status has %d streams, want 2", len(status.Streams))
 	}
 	s := status.Streams[0]
 	if s.Name != "scrape" || s.State != "done" || s.Files == 0 || s.Trials == 0 {
@@ -264,6 +280,12 @@ func TestMetricsAndStatus(t *testing.T) {
 	}
 	if s.Scenario != "profile:smeg.stanford.edu:/u1" {
 		t.Errorf("status scenario = %q", s.Scenario)
+	}
+	if s.Compress {
+		t.Error("raw stream's status row claims compression")
+	}
+	if l := status.Streams[1]; l.Name != "scrape-lz" || !l.Compress {
+		t.Errorf("compressed status row = %+v, want scrape-lz with compress=true", l)
 	}
 
 	if health := get("/healthz"); !strings.Contains(health, "ok") {

@@ -16,8 +16,9 @@ go test ./...
 
 echo "== fuzz seed-corpus smoke =="
 # Runs every Fuzz target over its f.Add seeds plus the checked-in
-# testdata corpora in normal (non-fuzzing) mode.  `go test -fuzz` only
-# accepts a single package, so the smoke uses -run across the tree.
+# testdata corpora in normal (non-fuzzing) mode — FuzzLZRoundTrip's
+# testdata/fuzz seeds included.  `go test -fuzz` only accepts a single
+# package, so the smoke uses -run across the tree.
 go test -count=1 -run Fuzz ./...
 
 echo "== CRC kernel differential smoke (-race) =="
@@ -47,6 +48,10 @@ grep -q "i.i.d. vs correlated cell loss at matched average rate" "$tmp/netsim.w1
     || { echo "netsim report missing the loss-contrast section"; exit 1; }
 grep -q "end-to-end vs per-segment checksum placement" "$tmp/netsim.w1" \
     || { echo "netsim report missing the placement-contrast section"; exit 1; }
+grep -q "raw vs lz-compressed payload" "$tmp/netsim.w1" \
+    || { echo "netsim report missing the raw-vs-compressed contrast section"; exit 1; }
+grep -q "^shape\[tcp+lz/burst\]" "$tmp/netsim.w1" \
+    || { echo "netsim report missing the compressed-pass shape lines"; exit 1; }
 
 echo "== netsim -dir corpus walk pin (internal/onescomp, -race) =="
 # A real-directory-tree run over a small stable in-repo tree, with its
@@ -72,6 +77,32 @@ placement[tcp/drop]: seg_corrupted=4 tcp=0 f255=0 crc32=0 header=0 trailer=0
 placement[tcp/drop-ge]: seg_corrupted=4 tcp=0 f255=0 crc32=0 header=0 trailer=0
 placement[tcp/drop-burst]: seg_corrupted=1 tcp=0 f255=0 crc32=0 header=0 trailer=0
 placement[tcp/dup]: seg_corrupted=53 tcp=0 f255=0 crc32=0 header=0 trailer=0
+PLACEMENTS
+
+echo "== netsim -compress pin (internal/onescomp, -race) =="
+# The same walk with the lz payload stage on: the compressed payloads
+# are roughly half the size (fewer cells per file, hence the lower
+# counts), the labels gain the +lz suffix, and the ratio line in the
+# header is pinned too — any drift in the compressor's output bytes,
+# the per-file ratio accounting or the trial seed chain shows here.
+go run -race ./cmd/netsim -dir internal/onescomp -channels drop,drop-ge,drop-burst,dup -trials 2 -workers 2 -compress > "$tmp/netsim.lz"
+grep "^lz payload stage" "$tmp/netsim.lz" > "$tmp/netsim.lz.ratio"
+diff - "$tmp/netsim.lz.ratio" <<'RATIO' || { echo "netsim -compress ratio line changed"; exit 1; }
+lz payload stage: 2 files, 13,295 -> 7,086 bytes, ratio min=47.420% mean=53.298% max=63.550%
+RATIO
+grep "^shape" "$tmp/netsim.lz" > "$tmp/netsim.lz.shapes"
+diff - "$tmp/netsim.lz.shapes" <<'SHAPES' || { echo "netsim -compress shape lines changed"; exit 1; }
+shape[tcp+lz/drop]: corrupted=1 weakest=tcp(0) tcp=0 crc32=0
+shape[tcp+lz/drop-ge]: corrupted=3 weakest=tcp(0) tcp=0 crc32=0
+shape[tcp+lz/drop-burst]: corrupted=1 weakest=tcp(0) tcp=0 crc32=0
+shape[tcp+lz/dup]: corrupted=30 weakest=tcp(0) tcp=0 crc32=0
+SHAPES
+grep "^placement" "$tmp/netsim.lz" > "$tmp/netsim.lz.placements"
+diff - "$tmp/netsim.lz.placements" <<'PLACEMENTS' || { echo "netsim -compress placement lines changed"; exit 1; }
+placement[tcp+lz/drop]: seg_corrupted=1 tcp=0 f255=0 crc32=0 header=0 trailer=0
+placement[tcp+lz/drop-ge]: seg_corrupted=3 tcp=0 f255=0 crc32=0 header=0 trailer=0
+placement[tcp+lz/drop-burst]: seg_corrupted=1 tcp=0 f255=0 crc32=0 header=0 trailer=0
+placement[tcp+lz/dup]: seg_corrupted=29 tcp=0 f255=0 crc32=0 header=0 trailer=0
 PLACEMENTS
 
 echo "== cksumd service smoke (scenario run, metrics scrape, graceful shutdown, -race) =="
