@@ -15,8 +15,12 @@
 // Each scenario file is a JSON profile (see internal/scenario): corpus
 // source, fault channels, placements, payload compression ("compress":
 // true runs the internal/lz stage and /status reports the flag per
-// stream), trial budget, seed, and how to keep running — replica
-// streams, corpus passes, a wall-clock duration.
+// stream), the retransmission loop ("retrans": true retransmits
+// detected corruptions through the re-rolled channel up to
+// "max_retries" attempts; /status carries both fields and /metrics
+// gains the per-channel retrans[...] pin lines with residual-error and
+// goodput counters), trial budget, seed, and how to keep running —
+// replica streams, corpus passes, a wall-clock duration.
 // A scenario's streams start immediately and run to their budgets; the
 // service then keeps serving metrics (and wire streams, with -listen)
 // until interrupted.  -once exits as soon as every file scenario

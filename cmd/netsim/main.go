@@ -12,6 +12,7 @@
 //	       [-channels drop,drop-ge,drop-burst,bitflip,burst,reorder,misinsert,dup]
 //	       [-placement e2e,segment]
 //	       [-compress]
+//	       [-retrans] [-maxretries 8]
 //	       [-trials 6] [-seed 0] [-workers N]
 //
 // The flags are aliases over a scenario.Scenario — the same declarative
@@ -32,8 +33,14 @@
 // encoding, so the injected faults hit near-uniform bytes — the
 // paper's Table 7 axis; the report header then carries the per-file
 // compression-ratio stats and every pin line is relabeled "+lz".
-// Output is byte-identical at any -workers count, and to a cksumd
-// stream of the same scenario at the same seed.
+// -retrans closes the retransmission loop: deliveries a checksum lane
+// detects as corrupt (and packets whose trailer never arrives) are
+// retransmitted through the re-rolled channel up to -maxretries
+// attempts, misses are accepted corrupt, and the report adds residual
+// corrupt bytes per delivered GB, mean transmissions per delivered PDU
+// and goodput overhead vs a perfect-detection oracle per (channel ×
+// placement × algorithm).  Output is byte-identical at any -workers
+// count, and to a cksumd stream of the same scenario at the same seed.
 package main
 
 import (
@@ -57,6 +64,8 @@ func main() {
 	channels := flag.String("channels", "", "comma-separated fault channels (default: all of "+strings.Join(netsim.ChannelNames(), ",")+")")
 	placement := flag.String("placement", "", "comma-separated checksum placements (default: all of "+strings.Join(netsim.PlacementNames(), ",")+"; segment applies to tcp mode only)")
 	compress := flag.Bool("compress", false, "lz-compress each corpus file before transport encoding (the Table 7 axis)")
+	retrans := flag.Bool("retrans", false, "close the retransmission loop: retransmit detected corruptions, accept misses, report residual error and goodput")
+	maxretries := flag.Int("maxretries", 0, "retry cap per packet with -retrans (default 8)")
 	trials := flag.Int("trials", 0, "trials per (file × channel) (default 6)")
 	seed := flag.Uint64("seed", 0, "root seed; every trial's fault pattern derives from it")
 	workers := flag.Int("workers", 0, "parallel workers (default GOMAXPROCS; output is identical at any count)")
@@ -96,6 +105,10 @@ func main() {
 			sc.Placements = strings.Split(*placement, ",")
 		case "compress":
 			sc.Compress = *compress
+		case "retrans":
+			sc.Retrans = *retrans
+		case "maxretries":
+			sc.MaxRetries = *maxretries
 		case "trials":
 			sc.Trials = *trials
 		case "seed":

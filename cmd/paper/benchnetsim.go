@@ -47,6 +47,16 @@ type benchNetsimRecord struct {
 	Compressed     bool    `json:"compressed,omitempty"`
 	CompressRatio  float64 `json:"compress_ratio,omitempty"`
 	CompressMBPerS float64 `json:"compress_mb_per_s,omitempty"`
+	// Retrans marks runs that closed the retransmission loop (detected
+	// corruptions retransmitted through the re-rolled channel up to
+	// MaxRetries attempts).  RetransMeanTx is the tcp lane's mean
+	// transmissions per delivered PDU and RetransResidualPerGB its
+	// residual corrupt bytes per delivered GB — the closed-loop price and
+	// leakage of the paper's weakest bellwether check.
+	Retrans              bool    `json:"retrans,omitempty"`
+	MaxRetries           int     `json:"max_retries,omitempty"`
+	RetransMeanTx        float64 `json:"retrans_mean_tx_per_pdu,omitempty"`
+	RetransResidualPerGB float64 `json:"retrans_residual_b_per_gb,omitempty"`
 }
 
 // benchCompressor times the lz stage alone over the scaled corpus,
@@ -87,14 +97,26 @@ func runBenchNetsimJSON(ctx context.Context, path string, scale float64, seed ui
 	lzMBPerS := benchCompressor(scale, seed)
 	fmt.Fprintf(os.Stderr, "[benchnetsim lz stage: %.1f raw MB/s]\n", lzMBPerS)
 
+	// Variants per (channel × placement): raw payload, raw with the
+	// retransmission loop closed, and lz-compressed.  Retrans is priced
+	// on the raw side only — the loop's cost is the retried channel
+	// passes and checksum rejudging, which the compression stage would
+	// only obscure.
+	variants := []struct{ compress, retrans bool }{
+		{false, false},
+		{false, true},
+		{true, false},
+	}
 	var records []benchNetsimRecord
 	for _, spec := range netsim.DefaultChannels() {
 		for _, pl := range placements {
-			for _, compress := range []bool{false, true} {
+			for _, v := range variants {
 				var oneWorkerNs float64
 				for _, nw := range workerCounts {
 					var trials, bytes, cellsSent, cellsDelivered uint64
 					var rawB, compB uint64
+					var retTx, retAccepted, retResid, retDelivered uint64
+					var maxRetries int
 					runtime.GC()
 					var m0, m1 runtime.MemStats
 					runtime.ReadMemStats(&m0)
@@ -107,7 +129,8 @@ func runBenchNetsimJSON(ctx context.Context, path string, scale float64, seed ui
 							Channels:   []netsim.ChannelSpec{spec},
 							Placements: []netsim.Placement{pl},
 							Workers:    nw,
-							Compress:   compress,
+							Compress:   v.compress,
+							Retrans:    v.retrans,
 						})
 						if err != nil {
 							return err
@@ -118,6 +141,19 @@ func runBenchNetsimJSON(ctx context.Context, path string, scale float64, seed ui
 						cellsDelivered += tally.Channels[0].CellsDelivered
 						rawB += tally.Comp.RawBytes
 						compB += tally.Comp.CompBytes
+						if v.retrans {
+							maxRetries = tally.MaxRetries
+							pt := &tally.Channels[0].Placements[0]
+							for a := range pt.Algos {
+								if pt.Algos[a].Name == "tcp" {
+									r := pt.Retrans[a]
+									retTx += r.Transmissions
+									retAccepted += r.Accepted
+									retResid += r.ResidualBytes
+									retDelivered += r.DeliveredBytes
+								}
+							}
+						}
 					}
 					elapsed := time.Since(start)
 					runtime.ReadMemStats(&m1)
@@ -133,14 +169,24 @@ func runBenchNetsimJSON(ctx context.Context, path string, scale float64, seed ui
 						TrialsPerS:     float64(trials) / sec,
 						MBPerS:         float64(bytes) / sec / 1e6,
 						AllocsPerTrial: float64(m1.Mallocs-m0.Mallocs) / float64(trials),
-						Compressed:     compress,
+						Compressed:     v.compress,
+						Retrans:        v.retrans,
 					}
 					if cellsSent > 0 {
 						rec.CellLossRate = 1 - float64(cellsDelivered)/float64(cellsSent)
 					}
-					if compress && rawB > 0 {
+					if v.compress && rawB > 0 {
 						rec.CompressRatio = float64(compB) / float64(rawB)
 						rec.CompressMBPerS = lzMBPerS
+					}
+					if v.retrans {
+						rec.MaxRetries = maxRetries
+						if retAccepted > 0 {
+							rec.RetransMeanTx = float64(retTx) / float64(retAccepted)
+						}
+						if retDelivered > 0 {
+							rec.RetransResidualPerGB = float64(retResid) / float64(retDelivered) * 1e9
+						}
 					}
 					if nw == 1 {
 						oneWorkerNs = nsPerOp
@@ -149,12 +195,15 @@ func runBenchNetsimJSON(ctx context.Context, path string, scale float64, seed ui
 						rec.Speedup = oneWorkerNs / nsPerOp
 					}
 					records = append(records, rec)
-					lzTag := ""
-					if compress {
-						lzTag = "+lz"
+					tag := ""
+					if v.compress {
+						tag = "+lz"
+					}
+					if v.retrans {
+						tag = "+ret"
 					}
 					fmt.Fprintf(os.Stderr, "[benchnetsim %s%s/%s w=%d: %.0f trials/s, %.1f MB/s, %.1f allocs/trial, loss %.4f, speedup %.2fx]\n",
-						rec.Name, lzTag, rec.Placement, nw, rec.TrialsPerS, rec.MBPerS, rec.AllocsPerTrial, rec.CellLossRate, rec.Speedup)
+						rec.Name, tag, rec.Placement, nw, rec.TrialsPerS, rec.MBPerS, rec.AllocsPerTrial, rec.CellLossRate, rec.Speedup)
 				}
 			}
 		}

@@ -39,6 +39,11 @@ func NetSim(cfg Config) NetSimData {
 	// i.i.d.-vs-correlated loss contrast at matched average rate, and
 	// runs twice — raw and lz-compressed payloads — for the Table 7
 	// contrast.
+	// The raw TCP pass also closes the retransmission loop: the report
+	// gains the residual-error and goodput tables plus the
+	// residual-vs-miss-rate contrast over the matched-rate drop channels
+	// (i.i.d. vs correlated).  The lz and UDP passes stay open-loop —
+	// retransmission economics are a transport-layer story, told once.
 	profile := corpus.StanfordU1().Name
 	tcpScen := scenario.Scenario{
 		Name:    "paper-netsim-tcp",
@@ -46,10 +51,12 @@ func NetSim(cfg Config) NetSimData {
 		Scale:   cfg.scale() * 0.25,
 		Seed:    cfg.Seed,
 		Workers: cfg.Workers,
+		Retrans: true,
 	}
 	lzScen := tcpScen
 	lzScen.Name = "paper-netsim-tcp-lz"
 	lzScen.Compress = true
+	lzScen.Retrans = false
 	udpScen := scenario.Scenario{
 		Name:     "paper-netsim-udpfrag",
 		Profile:  profile,

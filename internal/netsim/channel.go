@@ -309,3 +309,17 @@ func TrialSeed(root uint64, file, channel, trial int) uint64 {
 	x = splitmix64(x ^ uint64(trial+1))
 	return x
 }
+
+// RetrySeed derives the channel seed for one retransmission attempt of
+// one packet within a trial — a sub-stream of the trial's seed keyed by
+// (packet, attempt), so every retry's fault pattern is a pure function
+// of corpus position exactly like the primary transmission: the
+// workers-1/2/8 byte-identity contract extends over the retransmission
+// loop for free.  The salt separates the retry sub-stream from the
+// TrialSeed chain itself (attempt 0 must not collide with trial+1).
+func RetrySeed(trialSeed uint64, packet, attempt int) uint64 {
+	x := splitmix64(trialSeed ^ 0x8E78A9)
+	x = splitmix64(x ^ uint64(packet+1))
+	x = splitmix64(x ^ uint64(attempt+1))
+	return x
+}

@@ -151,10 +151,10 @@ func algoRate(p *PlacementTally, algo string) string {
 		return "-"
 	}
 	a, found := p.Algo(algo)
-	if !found || a.Detected+a.Undetected == 0 {
+	if !found {
 		return "-"
 	}
-	return report.Percent(a.MissRate())
+	return rateCell(a)
 }
 
 // undetectedCell renders an algorithm's undetected count, or "-" under

@@ -96,6 +96,18 @@ type Config struct {
 	// determinism are untouched; per-file ratio stats land in
 	// Tally.Comp.
 	Compress bool
+	// Retrans closes the retransmission loop: a delivery a checksum lane
+	// detects as corrupt (or a packet whose trailer never arrives) is
+	// retransmitted through the re-rolled channel, up to MaxRetries
+	// attempts per packet; a miss is accepted corrupt.  Per (channel ×
+	// placement × algorithm) the tally then carries residual corrupt
+	// bytes, transmissions and goodput next to a perfect-detection
+	// oracle.  Retries draw from RetrySeed sub-streams, so the
+	// worker-count byte-identity contract is unchanged.
+	Retrans bool
+	// MaxRetries caps the retransmission attempts per packet (default 8)
+	// — the terminator for dead channels and never-passing checks.
+	MaxRetries int
 	// Seed is the root seed every per-trial seed derives from.
 	Seed uint64
 	// Channels is the fault battery (default DefaultChannels).
@@ -138,6 +150,13 @@ func (c Config) trials() int {
 		return 6
 	}
 	return c.Trials
+}
+
+func (c Config) retryCap() int {
+	if c.MaxRetries <= 0 {
+		return 8
+	}
+	return c.MaxRetries
 }
 
 func (c Config) channels() []ChannelSpec {
@@ -256,6 +275,21 @@ type worker struct {
 	frags     [][]byte
 	pcg       *rand.PCG
 	rng       *rand.Rand
+
+	// Retransmission loop (cfg.Retrans).  A lane is one RetransTally a
+	// trial settles per packet: for each enabled placement, one lane per
+	// algorithm plus the perfect oracle, laid out per packet as
+	// placement-major groups of (nAlgos+1) — laneStride lanes per packet.
+	// retPending[p*laneStride+l] says lane l of packet p has not yet
+	// accepted a delivery this trial; retries run until every lane
+	// settles or the retry cap exhausts them.  trialSeed feeds the
+	// RetrySeed sub-stream; retWork/retPdu are the retry attempt's
+	// channel stream and reassembly buffer.
+	laneStride int
+	trialSeed  uint64
+	retPending []bool
+	retWork    Stream
+	retPdu     []byte
 }
 
 func newWorker(cfg Config) *worker {
@@ -278,7 +312,7 @@ func newWorker(cfg Config) *worker {
 	if cfg.Compress {
 		comp = lz.NewCompressor()
 	}
-	return &worker{
+	w := &worker{
 		cfg:    cfg,
 		comp:   comp,
 		algos:  cfg.algorithms(),
@@ -290,6 +324,10 @@ func newWorker(cfg Config) *worker {
 		pcg:    pcg,
 		rng:    rand.New(pcg),
 	}
+	if cfg.Retrans {
+		w.laneStride = len(cfg.placements()) * (len(w.algos) + 1)
+	}
+	return w
 }
 
 // file runs every (channel × trial) combination over one corpus file.
@@ -449,7 +487,8 @@ func (w *worker) computeSums() {
 // scores what the receiver got.
 func (w *worker) trial(fileIdx, chanIdx, trial int) {
 	ct := &w.tally.Channels[chanIdx]
-	w.pcg.Seed(TrialSeed(w.cfg.Seed, fileIdx, chanIdx, trial), 0xAA15)
+	w.trialSeed = TrialSeed(w.cfg.Seed, fileIdx, chanIdx, trial)
+	w.pcg.Seed(w.trialSeed, 0xAA15)
 
 	w.work.Cells = append(w.work.Cells[:0], w.cells...)
 	w.work.Origin = append(w.work.Origin[:0], w.origin...)
@@ -465,6 +504,16 @@ func (w *worker) trial(fileIdx, chanIdx, trial int) {
 	w.delivered = w.delivered[:0]
 	for i := 0; i < nPkts; i++ {
 		w.delivered = append(w.delivered, false)
+	}
+	if w.cfg.Retrans {
+		need := nPkts * w.laneStride
+		if cap(w.retPending) < need {
+			w.retPending = make([]bool, need)
+		}
+		w.retPending = w.retPending[:need]
+		for i := range w.retPending {
+			w.retPending[i] = true
+		}
 	}
 	w.fragArena = w.fragArena[:0]
 	w.fragRefs = w.fragRefs[:0]
@@ -483,6 +532,11 @@ func (w *worker) trial(fileIdx, chanIdx, trial int) {
 	for _, d := range w.delivered {
 		if !d {
 			ct.Lost++
+		}
+	}
+	if w.cfg.Retrans {
+		for p := 0; p < nPkts; p++ {
+			w.retryPacket(ct, chanIdx, p)
 		}
 	}
 	if w.cfg.Mode == ModeUDPFrag {
@@ -523,6 +577,9 @@ func (w *worker) score(ct *ChannelTally, origin int, cells []atm.Cell) {
 	}
 	if w.segIdx >= 0 {
 		w.scoreSegment(&ct.Placements[w.segIdx], origin)
+	}
+	if w.cfg.Retrans {
+		w.judgeArrival(ct, origin, w.pdu, 1)
 	}
 	w.pipeline(ct, origin, cells, corrupted)
 }
@@ -572,6 +629,164 @@ func (w *worker) scoreSegment(pt *PlacementTally, origin int) {
 		pt.TrailerPos.Undetected++
 	} else {
 		pt.TrailerPos.Detected++
+	}
+}
+
+// diffBytes counts how many received bytes differ from the sent span:
+// positional differences over the common prefix plus the full length
+// delta — the residual-corruption currency of the retransmission loop.
+func diffBytes(recv, sent []byte) uint64 {
+	n := len(recv)
+	if len(sent) < n {
+		n = len(sent)
+	}
+	var d uint64
+	for i := 0; i < n; i++ {
+		if recv[i] != sent[i] {
+			d++
+		}
+	}
+	d += uint64(len(recv)-n) + uint64(len(sent)-n)
+	return d
+}
+
+// judgeArrival lets every still-pending retransmission lane of packet p
+// judge one arriving candidate (recv = the reassembled candidate bytes
+// claiming p) delivered by transmission number tx.  A lane whose check
+// passes the arrival accepts it — corrupt bytes and all — and settles;
+// a lane whose check fails stays pending for the next retransmission.
+// The primary per-algorithm Detected/Undetected counters are not
+// touched: retransmission only ever adds to the Retrans/Oracle lanes.
+func (w *worker) judgeArrival(ct *ChannelTally, p int, recv []byte, tx uint64) {
+	nAlgos := len(w.algos)
+	pduLen := uint64(w.pduOff[p+1] - w.pduOff[p])
+	laneBase := p * w.laneStride
+	if w.e2eIdx >= 0 {
+		pt := &ct.Placements[w.e2eIdx]
+		lb := laneBase + w.e2eIdx*(nAlgos+1)
+		sent := w.pduArena[w.pduOff[p]:w.pduOff[p+1]]
+		intact := bytes.Equal(recv, sent)
+		diff, diffDone := uint64(0), intact
+		sumBase := p * nAlgos
+		for a, alg := range w.algos {
+			if !w.retPending[lb+a] {
+				continue
+			}
+			if intact || algo.Sum(alg, recv) == w.sums[sumBase+a] {
+				if !diffDone {
+					diff = diffBytes(recv, sent)
+					diffDone = true
+				}
+				pt.Retrans[a].accept(tx, pduLen, uint64(len(recv)), diff)
+				w.retPending[lb+a] = false
+			}
+		}
+		if w.retPending[lb+nAlgos] && intact {
+			pt.Oracle.accept(tx, pduLen, uint64(len(recv)), 0)
+			w.retPending[lb+nAlgos] = false
+		}
+	}
+	if w.segIdx >= 0 {
+		pt := &ct.Placements[w.segIdx]
+		lb := laneBase + w.segIdx*(nAlgos+1)
+		n := w.pktLen[p]
+		segRecv := recv
+		if len(segRecv) > n {
+			segRecv = segRecv[:n]
+		}
+		sentSeg := w.pduArena[w.pduOff[p] : w.pduOff[p]+n]
+		intact := bytes.Equal(segRecv, sentSeg)
+		diff, diffDone := uint64(0), intact
+		sumBase := p * nAlgos
+		for a, alg := range w.algos {
+			if !w.retPending[lb+a] {
+				continue
+			}
+			if intact || algo.Sum(alg, segRecv) == w.segSums[sumBase+a] {
+				if !diffDone {
+					diff = diffBytes(segRecv, sentSeg)
+					diffDone = true
+				}
+				pt.Retrans[a].accept(tx, pduLen, uint64(len(segRecv)), diff)
+				w.retPending[lb+a] = false
+			}
+		}
+		if w.retPending[lb+nAlgos] && intact {
+			pt.Oracle.accept(tx, pduLen, uint64(len(segRecv)), 0)
+			w.retPending[lb+nAlgos] = false
+		}
+	}
+}
+
+// lanesPending reports whether any retransmission lane of packet p is
+// still waiting for an acceptable delivery.
+func (w *worker) lanesPending(p int) bool {
+	for _, pending := range w.retPending[p*w.laneStride : (p+1)*w.laneStride] {
+		if pending {
+			return true
+		}
+	}
+	return false
+}
+
+// retryPacket closes the retransmission loop for one packet after the
+// primary transmission settled what it could: while any lane is still
+// pending (its check rejected every delivery so far, or the packet's
+// trailer never arrived), the packet's own cells are retransmitted
+// through the re-rolled channel — each attempt seeded from the
+// RetrySeed(trialSeed, packet, attempt) sub-stream, so the fault
+// pattern is a pure function of corpus position and the worker-count
+// byte-identity contract holds.  All pending lanes share each attempt's
+// damage (common random numbers: the channel does not care which
+// checksum the receiver runs), so lane differences are pure detection
+// differences.  Lanes still pending after the retry cap are exhausted —
+// the dead-channel / never-passing-check terminator.
+func (w *worker) retryPacket(ct *ChannelTally, chanIdx, p int) {
+	if !w.lanesPending(p) {
+		return
+	}
+	retryCap := w.cfg.retryCap()
+	cellLo := w.pduOff[p] / atm.PayloadSize
+	cellHi := w.pduOff[p+1] / atm.PayloadSize
+	tx := uint64(1)
+	for attempt := 1; attempt <= retryCap && w.lanesPending(p); attempt++ {
+		tx = uint64(attempt) + 1
+		w.pcg.Seed(RetrySeed(w.trialSeed, p, attempt), 0xAA15)
+		w.retWork.Cells = append(w.retWork.Cells[:0], w.cells[cellLo:cellHi]...)
+		w.retWork.Origin = append(w.retWork.Origin[:0], w.origin[cellLo:cellHi]...)
+		w.chans[chanIdx].Transmit(w.rng, &w.retWork)
+
+		w.retPdu = w.retPdu[:0]
+		for i := range w.retWork.Cells {
+			w.retPdu = append(w.retPdu, w.retWork.Cells[i].Payload[:]...)
+			if !w.retWork.Cells[i].Header.EndOfPacket() {
+				continue
+			}
+			w.judgeArrival(ct, p, w.retPdu, tx)
+			w.retPdu = w.retPdu[:0]
+		}
+	}
+	// Exhaust whatever never accepted: tx transmissions were spent on
+	// this packet in total, none delivered for these lanes.
+	nAlgos := len(w.algos)
+	pduLen := uint64(w.pduOff[p+1] - w.pduOff[p])
+	laneBase := p * w.laneStride
+	for pi := range ct.Placements {
+		if pi != w.e2eIdx && pi != w.segIdx {
+			continue
+		}
+		pt := &ct.Placements[pi]
+		lb := laneBase + pi*(nAlgos+1)
+		for a := 0; a < nAlgos; a++ {
+			if w.retPending[lb+a] {
+				pt.Retrans[a].exhaust(tx, pduLen)
+				w.retPending[lb+a] = false
+			}
+		}
+		if w.retPending[lb+nAlgos] {
+			pt.Oracle.exhaust(tx, pduLen)
+			w.retPending[lb+nAlgos] = false
+		}
 	}
 }
 
@@ -666,7 +881,7 @@ func Run(ctx context.Context, w corpus.Walker, cfg Config) (*Tally, error) {
 	ws, err := sim.Collect(ctx, w, sim.CollectOptions{Workers: cfg.Workers, Progress: cfg.Progress},
 		func() *worker { return newWorker(cfg) },
 		func(sh *worker, idx int, data []byte) { sh.file(idx, data) },
-		func(dst, src *worker) { dst.tally.Merge(src.tally) },
+		func(dst, src *worker) { dst.tally.MustMerge(src.tally) },
 	)
 	return ws.tally, err
 }
@@ -693,11 +908,16 @@ func (s *Shard) File(idx int, data []byte) { s.w.file(idx, data) }
 
 // Flush merges the shard's accumulated counts into dst and resets the
 // shard — the batched-merge step of the service path.  dst must have
-// been built by NewTally (or another Shard) from the same Config; the
-// caller owns dst's synchronization.  Flush allocates nothing.
-func (s *Shard) Flush(dst *Tally) {
-	dst.Merge(s.w.tally)
+// been built by NewTally (or another Shard) from the same Config; a
+// shape mismatch (dst from a different scenario) is returned as an
+// error with dst unmodified and the shard's counts intact.  The caller
+// owns dst's synchronization.  Flush allocates nothing.
+func (s *Shard) Flush(dst *Tally) error {
+	if err := dst.Merge(s.w.tally); err != nil {
+		return err
+	}
 	s.w.tally.Reset()
+	return nil
 }
 
 // StreamSeed derives the root seed for replica r of a scenario run at

@@ -288,8 +288,12 @@ func TestNetsimMergeCommutative(t *testing.T) {
 	}
 	ab1, ab2 := run(1), run(2)
 	ba1, ba2 := run(1), run(2)
-	ab1.Merge(ab2)
-	ba2.Merge(ba1)
+	if err := ab1.Merge(ab2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ba2.Merge(ba1); err != nil {
+		t.Fatal(err)
+	}
 	if ab1.Report() != ba2.Report() {
 		t.Error("Merge is not commutative: A+B and B+A reports differ")
 	}

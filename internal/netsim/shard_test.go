@@ -28,7 +28,9 @@ func TestShardFlushMatchesRun(t *testing.T) {
 			a.File(idx, data)
 		} else {
 			b.File(idx, data)
-			b.Flush(agg)
+			if err := b.Flush(agg); err != nil {
+				t.Fatal(err)
+			}
 		}
 		idx++
 		return nil
@@ -36,8 +38,12 @@ func TestShardFlushMatchesRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a.Flush(agg)
-	b.Flush(agg) // empty after its last flush; must be a no-op
+	if err := a.Flush(agg); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Flush(agg); err != nil { // empty after its last flush; must be a no-op
+		t.Fatal(err)
+	}
 
 	if got, want := agg.Report(), want.Report(); got != want {
 		t.Errorf("shard-flushed tally differs from batch Run:\n--- shard\n%s\n--- batch\n%s", got, want)
@@ -95,7 +101,9 @@ func TestTallyResetAndClone(t *testing.T) {
 		t.Error("Clone shares counters with the original (Reset zeroed it)")
 	}
 	// A reset tally is reusable as a merge target of the same shape.
-	tally.Merge(clone)
+	if err := tally.Merge(clone); err != nil {
+		t.Fatal(err)
+	}
 	if tally.Report() != clone.Report() {
 		t.Error("merging into a Reset tally does not reproduce the source")
 	}

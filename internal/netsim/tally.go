@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 
 	"realsum/internal/report"
@@ -16,12 +17,137 @@ type AlgoTally struct {
 	Undetected uint64
 }
 
-// MissRate is Undetected over all corrupted deliveries scored.
-func (a AlgoTally) MissRate() float64 {
-	if a.Detected+a.Undetected == 0 {
-		return 0
+// Rate returns the miss rate (Undetected over all corrupted deliveries
+// scored) and whether any corrupted delivery was scored at all.
+// ok == false means zero candidates: a channel that never corrupted
+// anything is not evidence of a zero miss rate, and every renderer
+// shows it as "-" instead of a fake 0%.
+func (a AlgoTally) Rate() (float64, bool) {
+	n := a.Detected + a.Undetected
+	if n == 0 {
+		return 0, false
 	}
-	return float64(a.Undetected) / float64(a.Detected+a.Undetected)
+	return float64(a.Undetected) / float64(n), true
+}
+
+// MissRate is the miss rate with the zero-candidate case flattened to
+// 0 — the raw number for arithmetic.  Renderers use Rate, whose ok
+// result distinguishes "never missed" from "never scored".
+func (a AlgoTally) MissRate() float64 {
+	r, _ := a.Rate()
+	return r
+}
+
+// rateCell renders an AlgoTally's miss rate for a table cell: the
+// percentage, or "-" when no corrupted delivery was ever scored.
+func rateCell(a AlgoTally) string {
+	r, ok := a.Rate()
+	if !ok {
+		return "-"
+	}
+	return report.Percent(r)
+}
+
+// RetransTally closes the retransmission loop for one checksum lane —
+// one algorithm under one (channel × placement), or the perfect oracle
+// — over every sent PDU: a delivery the lane's check passes (intact, or
+// corrupt-but-collided) is accepted; a detected corruption or a lost
+// trailer triggers a retransmission through a re-rolled channel, up to
+// the run's retry cap.  What an operator buys with a stronger check is
+// exactly this trade: fewer residual corrupt bytes per delivered byte,
+// at the cost of more transmissions per delivered PDU.
+type RetransTally struct {
+	// Accepted counts PDUs whose delivery the lane's check eventually
+	// passed within the retry cap.
+	Accepted uint64
+	// AcceptedCorrupt counts accepted deliveries whose bytes differed
+	// from the sent span — the corruption the check let through.
+	AcceptedCorrupt uint64
+	// Exhausted counts PDUs abandoned at the retry cap with no accepted
+	// delivery — the dead-channel terminator.
+	Exhausted uint64
+	// Transmissions is every send charged to the lane: the first
+	// transmission plus each retry, including the sends of abandoned
+	// PDUs.
+	Transmissions uint64
+	// TxBytes prices Transmissions in sent-PDU bytes — the wire cost.
+	TxBytes uint64
+	// DeliveredBytes is the bytes of accepted deliveries — the goodput.
+	DeliveredBytes uint64
+	// ResidualBytes counts the bytes inside accepted deliveries that
+	// differ from the sent span (positional diff plus any length
+	// difference) — the residual corruption per delivered byte the
+	// report normalizes to GB.
+	ResidualBytes uint64
+}
+
+// accept finalizes one delivered PDU: tx transmissions of pduLen bytes
+// bought delivered accepted bytes, diff of them corrupt.
+func (r *RetransTally) accept(tx, pduLen, delivered, diff uint64) {
+	r.Accepted++
+	r.Transmissions += tx
+	r.TxBytes += tx * pduLen
+	r.DeliveredBytes += delivered
+	if diff > 0 {
+		r.AcceptedCorrupt++
+		r.ResidualBytes += diff
+	}
+}
+
+// exhaust abandons one PDU at the retry cap: tx transmissions of
+// pduLen bytes delivered nothing.
+func (r *RetransTally) exhaust(tx, pduLen uint64) {
+	r.Exhausted++
+	r.Transmissions += tx
+	r.TxBytes += tx * pduLen
+}
+
+func (r *RetransTally) merge(o *RetransTally) {
+	r.Accepted += o.Accepted
+	r.AcceptedCorrupt += o.AcceptedCorrupt
+	r.Exhausted += o.Exhausted
+	r.Transmissions += o.Transmissions
+	r.TxBytes += o.TxBytes
+	r.DeliveredBytes += o.DeliveredBytes
+	r.ResidualBytes += o.ResidualBytes
+}
+
+// MeanTx is the operator's cost ratio — total transmissions (including
+// the wasted sends of abandoned PDUs) per delivered PDU.  ok == false
+// when nothing was delivered.
+func (r RetransTally) MeanTx() (float64, bool) {
+	if r.Accepted == 0 {
+		return 0, false
+	}
+	return float64(r.Transmissions) / float64(r.Accepted), true
+}
+
+// ResidualPerGB is the residual corrupt bytes per delivered gigabyte.
+func (r RetransTally) ResidualPerGB() (float64, bool) {
+	if r.DeliveredBytes == 0 {
+		return 0, false
+	}
+	return float64(r.ResidualBytes) / float64(r.DeliveredBytes) * 1e9, true
+}
+
+// Goodput is delivered bytes over transmitted bytes.
+func (r RetransTally) Goodput() (float64, bool) {
+	if r.TxBytes == 0 {
+		return 0, false
+	}
+	return float64(r.DeliveredBytes) / float64(r.TxBytes), true
+}
+
+// OverheadVs is the lane's extra wire cost per delivered byte relative
+// to another lane (the perfect oracle in the report): 0 means the same
+// goodput, 0.05 means 5% more transmitted bytes per delivered byte.
+func (r RetransTally) OverheadVs(o RetransTally) (float64, bool) {
+	rg, rok := r.Goodput()
+	og, ook := o.Goodput()
+	if !rok || !ook || rg == 0 {
+		return 0, false
+	}
+	return og/rg - 1, true
 }
 
 // PlacementTally scores every registry algorithm under one checksum
@@ -37,6 +163,13 @@ type PlacementTally struct {
 	Intact    uint64
 	Corrupted uint64
 	Algos     []AlgoTally
+
+	// Retrans, index-aligned with Algos, closes the retransmission loop
+	// per algorithm; Oracle is the perfect-detection baseline (accepts
+	// exactly the intact deliveries) the goodput overhead is measured
+	// against.  Both are nil/zero unless the run enabled Config.Retrans.
+	Retrans []RetransTally
+	Oracle  RetransTally
 
 	// HeaderPos and TrailerPos contrast the checksum field's position
 	// for the real TCP one's-complement sum (pseudo-header included),
@@ -57,6 +190,9 @@ type PlacementTally struct {
 	TrailerPos AlgoTally
 }
 
+// merge folds another shard's counts in.  Tally.Merge has already
+// validated that the two placements agree on name, algorithm list and
+// retransmission shape, so index alignment here is sound.
 func (p *PlacementTally) merge(o *PlacementTally) {
 	p.Delivered += o.Delivered
 	p.Intact += o.Intact
@@ -65,6 +201,10 @@ func (p *PlacementTally) merge(o *PlacementTally) {
 		p.Algos[i].Detected += o.Algos[i].Detected
 		p.Algos[i].Undetected += o.Algos[i].Undetected
 	}
+	for i := range p.Retrans {
+		p.Retrans[i].merge(&o.Retrans[i])
+	}
+	p.Oracle.merge(&o.Oracle)
 	p.HeaderPos.Detected += o.HeaderPos.Detected
 	p.HeaderPos.Undetected += o.HeaderPos.Undetected
 	p.TrailerPos.Detected += o.TrailerPos.Detected
@@ -194,6 +334,16 @@ type CompStats struct {
 	MaxComp, MaxRaw uint64
 }
 
+// ratioLess reports aNum/aDen < bNum/bDen exactly, comparing the
+// cross-products in 128 bits via bits.Mul64.  A raw uint64
+// cross-multiplication overflows once a file reaches 4 GiB (comp·raw
+// exceeds 2^64) and can silently invert the min/max selection.
+func ratioLess(aNum, aDen, bNum, bDen uint64) bool {
+	hiA, loA := bits.Mul64(aNum, bDen)
+	hiB, loB := bits.Mul64(bNum, aDen)
+	return hiA < hiB || (hiA == hiB && loA < loB)
+}
+
 // add records one compressed file.  Empty files count toward the
 // totals but carry no ratio.
 func (s *CompStats) add(raw, comp uint64) {
@@ -203,10 +353,10 @@ func (s *CompStats) add(raw, comp uint64) {
 	if raw == 0 {
 		return
 	}
-	if s.MinRaw == 0 || comp*s.MinRaw < s.MinComp*raw {
+	if s.MinRaw == 0 || ratioLess(comp, raw, s.MinComp, s.MinRaw) {
 		s.MinComp, s.MinRaw = comp, raw
 	}
-	if s.MaxRaw == 0 || comp*s.MaxRaw > s.MaxComp*raw {
+	if s.MaxRaw == 0 || ratioLess(s.MaxComp, s.MaxRaw, comp, raw) {
 		s.MaxComp, s.MaxRaw = comp, raw
 	}
 }
@@ -215,10 +365,10 @@ func (s *CompStats) merge(o *CompStats) {
 	s.Files += o.Files
 	s.RawBytes += o.RawBytes
 	s.CompBytes += o.CompBytes
-	if o.MinRaw != 0 && (s.MinRaw == 0 || o.MinComp*s.MinRaw < s.MinComp*o.MinRaw) {
+	if o.MinRaw != 0 && (s.MinRaw == 0 || ratioLess(o.MinComp, o.MinRaw, s.MinComp, s.MinRaw)) {
 		s.MinComp, s.MinRaw = o.MinComp, o.MinRaw
 	}
-	if o.MaxRaw != 0 && (s.MaxRaw == 0 || o.MaxComp*s.MaxRaw > s.MaxComp*o.MaxRaw) {
+	if o.MaxRaw != 0 && (s.MaxRaw == 0 || ratioLess(s.MaxComp, s.MaxRaw, o.MaxComp, o.MaxRaw)) {
 		s.MaxComp, s.MaxRaw = o.MaxComp, o.MaxRaw
 	}
 }
@@ -252,8 +402,13 @@ type Tally struct {
 	Compressed bool
 	// Comp holds the LZ stage's per-file ratio stats (zero when
 	// Compressed is false).
-	Comp     CompStats
-	Channels []ChannelTally
+	Comp CompStats
+	// Retrans records whether the run closed the retransmission loop;
+	// it enables the residual-error tables and the retrans pin lines.
+	// MaxRetries is the run's retry cap (meaningful only when Retrans).
+	Retrans    bool
+	MaxRetries int
+	Channels   []ChannelTally
 }
 
 // label names the run for report titles and pin lines: the transport
@@ -271,15 +426,20 @@ func (t *Tally) label() string {
 // Shard built from the same cfg, so Shard.Flush never panics.
 func NewTally(cfg Config) *Tally {
 	channels, algos, placements := cfg.tallyNames()
-	t := newTally(cfg.Mode.String(), channels, algos, placements)
+	t := newTally(cfg.Mode.String(), channels, algos, placements, cfg.Retrans, cfg.retryCap())
 	t.Compressed = cfg.Compress
 	return t
 }
 
 // newTally builds an empty tally shaped for the channel, algorithm and
-// placement name lists.
-func newTally(mode string, channels, algos, placements []string) *Tally {
+// placement name lists; retrans shapes the per-algorithm RetransTally
+// slices with cap maxRetries.
+func newTally(mode string, channels, algos, placements []string, retrans bool, maxRetries int) *Tally {
 	t := &Tally{Mode: mode, Channels: make([]ChannelTally, len(channels))}
+	if retrans {
+		t.Retrans = true
+		t.MaxRetries = maxRetries
+	}
 	for i, cn := range channels {
 		t.Channels[i].Name = cn
 		t.Channels[i].Placements = make([]PlacementTally, len(placements))
@@ -290,6 +450,9 @@ func newTally(mode string, channels, algos, placements []string) *Tally {
 			for a, an := range algos {
 				pt.Algos[a].Name = an
 			}
+			if retrans {
+				pt.Retrans = make([]RetransTally, len(algos))
+			}
 			pt.HeaderPos.Name = "tcp@header"
 			pt.TrailerPos.Name = "tcp@trailer"
 		}
@@ -297,23 +460,81 @@ func newTally(mode string, channels, algos, placements []string) *Tally {
 	return t
 }
 
-// Merge folds another shard's counts into t.  Shapes must match (same
-// engine configuration); Merge panics otherwise, because a silent
-// mismatch would corrupt every downstream report.
-func (t *Tally) Merge(o *Tally) {
-	if len(t.Channels) != len(o.Channels) {
-		panic(fmt.Sprintf("netsim: merging tallies with %d vs %d channels", len(t.Channels), len(o.Channels)))
-	}
-	if t.Compressed != o.Compressed {
-		panic("netsim: merging a compressed tally into a raw one")
+// Merge folds another shard's counts into t.  The two tallies must have
+// been shaped by the same engine configuration; Merge validates the full
+// shape — mode, compression, retransmission cap, and the name and order
+// of every channel, placement and algorithm — before touching a counter,
+// and returns a named-mismatch error otherwise.  The lower-level merges
+// index-align their slices, so an unvalidated merge of tallies from
+// different scenarios (e.g. a cksumd replica running a different
+// profile) would silently misattribute counts or panic out of range.
+// On error t is unmodified.
+func (t *Tally) Merge(o *Tally) error {
+	if err := t.matchShape(o); err != nil {
+		return err
 	}
 	t.Comp.merge(&o.Comp)
 	for i := range t.Channels {
-		if len(t.Channels[i].Placements) != len(o.Channels[i].Placements) {
-			panic(fmt.Sprintf("netsim: merging channel %s with %d vs %d placements",
-				t.Channels[i].Name, len(t.Channels[i].Placements), len(o.Channels[i].Placements)))
-		}
 		t.Channels[i].merge(&o.Channels[i])
+	}
+	return nil
+}
+
+// matchShape checks that o's shape is element-wise identical to t's.
+func (t *Tally) matchShape(o *Tally) error {
+	if t.Mode != o.Mode {
+		return fmt.Errorf("netsim: merge shape mismatch: mode %q vs %q", t.Mode, o.Mode)
+	}
+	if t.Compressed != o.Compressed {
+		return fmt.Errorf("netsim: merge shape mismatch: compressed %v vs %v", t.Compressed, o.Compressed)
+	}
+	if t.Retrans != o.Retrans || t.MaxRetries != o.MaxRetries {
+		return fmt.Errorf("netsim: merge shape mismatch: retrans %v/cap=%d vs %v/cap=%d",
+			t.Retrans, t.MaxRetries, o.Retrans, o.MaxRetries)
+	}
+	if len(t.Channels) != len(o.Channels) {
+		return fmt.Errorf("netsim: merge shape mismatch: %d vs %d channels", len(t.Channels), len(o.Channels))
+	}
+	for i := range t.Channels {
+		tc, oc := &t.Channels[i], &o.Channels[i]
+		if tc.Name != oc.Name {
+			return fmt.Errorf("netsim: merge shape mismatch: channel[%d] %q vs %q", i, tc.Name, oc.Name)
+		}
+		if len(tc.Placements) != len(oc.Placements) {
+			return fmt.Errorf("netsim: merge shape mismatch: channel %s has %d vs %d placements",
+				tc.Name, len(tc.Placements), len(oc.Placements))
+		}
+		for pi := range tc.Placements {
+			tp, op := &tc.Placements[pi], &oc.Placements[pi]
+			if tp.Name != op.Name {
+				return fmt.Errorf("netsim: merge shape mismatch: channel %s placement[%d] %q vs %q",
+					tc.Name, pi, tp.Name, op.Name)
+			}
+			if len(tp.Algos) != len(op.Algos) {
+				return fmt.Errorf("netsim: merge shape mismatch: %s/%s has %d vs %d algorithms",
+					tc.Name, tp.Name, len(tp.Algos), len(op.Algos))
+			}
+			for a := range tp.Algos {
+				if tp.Algos[a].Name != op.Algos[a].Name {
+					return fmt.Errorf("netsim: merge shape mismatch: %s/%s algo[%d] %q vs %q",
+						tc.Name, tp.Name, a, tp.Algos[a].Name, op.Algos[a].Name)
+				}
+			}
+			if len(tp.Retrans) != len(op.Retrans) {
+				return fmt.Errorf("netsim: merge shape mismatch: %s/%s has %d vs %d retrans lanes",
+					tc.Name, tp.Name, len(tp.Retrans), len(op.Retrans))
+			}
+		}
+	}
+	return nil
+}
+
+// MustMerge merges o into t and panics on a shape mismatch — for the
+// engine-internal paths (worker shards, stream flushes) where both
+// tallies are built from one Config and a mismatch is a program bug.
+func (t *Tally) MustMerge(o *Tally) {
+	if err := t.Merge(o); err != nil {
+		panic(err)
 	}
 }
 
@@ -328,10 +549,13 @@ func (t *Tally) Reset() {
 		*c = ChannelTally{Name: name, Placements: placements}
 		for pi := range placements {
 			p := &placements[pi]
-			name, algos := p.Name, p.Algos
-			*p = PlacementTally{Name: name, Algos: algos}
+			name, algos, retr := p.Name, p.Algos, p.Retrans
+			*p = PlacementTally{Name: name, Algos: algos, Retrans: retr}
 			for a := range algos {
 				algos[a].Detected, algos[a].Undetected = 0, 0
+			}
+			for a := range retr {
+				retr[a] = RetransTally{}
 			}
 			p.HeaderPos = AlgoTally{Name: "tcp@header"}
 			p.TrailerPos = AlgoTally{Name: "tcp@trailer"}
@@ -343,11 +567,15 @@ func (t *Tally) Reset() {
 // while the stream keeps merging batches into the original.
 func (t *Tally) Clone() *Tally {
 	o := &Tally{Mode: t.Mode, Compressed: t.Compressed, Comp: t.Comp,
+		Retrans: t.Retrans, MaxRetries: t.MaxRetries,
 		Channels: append([]ChannelTally(nil), t.Channels...)}
 	for i := range o.Channels {
 		pls := append([]PlacementTally(nil), o.Channels[i].Placements...)
 		for pi := range pls {
 			pls[pi].Algos = append([]AlgoTally(nil), pls[pi].Algos...)
+			if pls[pi].Retrans != nil {
+				pls[pi].Retrans = append([]RetransTally(nil), pls[pi].Retrans...)
+			}
 		}
 		o.Channels[i].Placements = pls
 	}
@@ -446,20 +674,25 @@ func (t *Tally) Report() string {
 					t.label(), c.Name, report.Count(p.Corrupted))
 			}
 			for _, a := range p.Algos {
-				at.AddRow(a.Name, report.Count(a.Detected), report.Count(a.Undetected), report.Percent(a.MissRate()))
+				at.AddRow(a.Name, report.Count(a.Detected), report.Count(a.Undetected), rateCell(a))
 			}
 			if p.Name == PlaceSegment.String() {
 				for _, a := range []AlgoTally{p.HeaderPos, p.TrailerPos} {
-					at.AddRow(a.Name, report.Count(a.Detected), report.Count(a.Undetected), report.Percent(a.MissRate()))
+					at.AddRow(a.Name, report.Count(a.Detected), report.Count(a.Undetected), rateCell(a))
 				}
 			}
 			b.WriteString(at.Render())
 			b.WriteByte('\n')
+			if t.Retrans && len(p.Retrans) == len(p.Algos) {
+				b.WriteString(t.retransTable(c, p))
+				b.WriteByte('\n')
+			}
 		}
 	}
 
 	b.WriteString(t.lossContrastReport())
 	b.WriteString(t.placementContrastReport())
+	b.WriteString(t.residualContrastReport())
 	b.WriteString(t.pipelineReport())
 	for _, line := range t.ShapeLines() {
 		b.WriteString(line)
@@ -469,7 +702,134 @@ func (t *Tally) Report() string {
 		b.WriteString(line)
 		b.WriteByte('\n')
 	}
+	for _, line := range t.RetransLines() {
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
 	return b.String()
+}
+
+// floatCell renders a (value, ok) metric: fixed-precision, or "-" when
+// the denominator never accumulated (nothing delivered / transmitted).
+func floatCell(v float64, ok bool, prec int) string {
+	if !ok {
+		return "-"
+	}
+	return fmt.Sprintf("%.*f", prec, v)
+}
+
+// retransTable renders one (channel × placement)'s closed-loop scoring:
+// per algorithm lane, what the retry protocol delivered, what corruption
+// it let through per delivered GB, what the wire cost was, and the
+// goodput overhead against the perfect-detection oracle.
+func (t *Tally) retransTable(c *ChannelTally, p *PlacementTally) string {
+	tb := report.Table{
+		Title: fmt.Sprintf("netsim %s · %s · %s: retransmission loop (retry cap %d)",
+			t.label(), c.Name, p.Name, t.MaxRetries),
+		Headers: []string{"algorithm", "delivered", "acc-corrupt", "exhausted",
+			"mean tx/PDU", "residual B/GB", "goodput", "overhead vs oracle"},
+	}
+	row := func(name string, r RetransTally) {
+		mtx, mok := r.MeanTx()
+		res, rok := r.ResidualPerGB()
+		gp, gok := r.Goodput()
+		ov, ook := r.OverheadVs(p.Oracle)
+		tb.AddRow(name, report.Count(r.Accepted), report.Count(r.AcceptedCorrupt),
+			report.Count(r.Exhausted), floatCell(mtx, mok, 4), floatCell(res, rok, 1),
+			floatCell(gp, gok, 4), floatCell(ov, ook, 4))
+	}
+	for i, a := range p.Algos {
+		row(a.Name, p.Retrans[i])
+	}
+	or := p.Oracle
+	mtx, mok := or.MeanTx()
+	res, rok := or.ResidualPerGB()
+	gp, gok := or.Goodput()
+	tb.AddRow("oracle", report.Count(or.Accepted), report.Count(or.AcceptedCorrupt),
+		report.Count(or.Exhausted), floatCell(mtx, mok, 4), floatCell(res, rok, 1),
+		floatCell(gp, gok, 4), "0.0000")
+	return tb.Render()
+}
+
+// RetransLines renders the per-channel retransmission pin lines ci.sh
+// greps — the headline scoring placement's tcp and crc32 lanes plus the
+// oracle, in raw counters so any drift in the retry loop, the retry
+// seed chain or the residual diff accounting shows as an exact diff.
+func (t *Tally) RetransLines() []string {
+	if !t.Retrans {
+		return nil
+	}
+	var out []string
+	for i := range t.Channels {
+		c := &t.Channels[i]
+		p := c.scoring()
+		if p == nil || len(p.Retrans) != len(p.Algos) {
+			continue
+		}
+		var tcp, crc RetransTally
+		for a := range p.Algos {
+			switch p.Algos[a].Name {
+			case "tcp":
+				tcp = p.Retrans[a]
+			case "crc32":
+				crc = p.Retrans[a]
+			}
+		}
+		out = append(out, fmt.Sprintf(
+			"retrans[%s/%s]: cap=%d pdus=%d tcp_tx=%d tcp_resid=%d crc32_tx=%d crc32_resid=%d oracle_tx=%d exhausted=%d",
+			t.label(), c.Name, t.MaxRetries, c.PacketsSent,
+			tcp.Transmissions, tcp.ResidualBytes, crc.Transmissions, crc.ResidualBytes,
+			p.Oracle.Transmissions, p.Oracle.Exhausted))
+	}
+	return out
+}
+
+// residualContrastReport is the closed-loop counterpart of the
+// miss-rate loss contrast: over the cell-loss channels at matched
+// average rate, the open-loop miss rate next to what the operator
+// actually experiences — residual corrupt bytes per delivered GB, mean
+// transmissions per delivered PDU, and goodput overhead vs the perfect
+// oracle — for the bellwether algorithms.  Correlated loss concentrates
+// damage into the retransmissions themselves, so a matched average rate
+// that leaves miss rates close can still widen the residual gap.
+func (t *Tally) residualContrastReport() string {
+	if !t.Retrans {
+		return ""
+	}
+	var rows []*ChannelTally
+	for i := range t.Channels {
+		if strings.HasPrefix(t.Channels[i].Name, "drop") {
+			rows = append(rows, &t.Channels[i])
+		}
+	}
+	if len(rows) < 2 {
+		return ""
+	}
+	tb := report.Table{
+		Title: fmt.Sprintf("netsim %s: residual error vs miss rate, i.i.d. vs correlated loss at matched rate", t.label()),
+		Headers: []string{"channel", "algorithm", "miss rate", "residual B/GB",
+			"mean tx/PDU", "overhead vs oracle"},
+	}
+	for _, c := range rows {
+		p := c.scoring()
+		if p == nil || len(p.Retrans) != len(p.Algos) {
+			continue
+		}
+		for _, name := range []string{"tcp", "f255", "crc32"} {
+			for a := range p.Algos {
+				if p.Algos[a].Name != name {
+					continue
+				}
+				r := p.Retrans[a]
+				res, rok := r.ResidualPerGB()
+				mtx, mok := r.MeanTx()
+				ov, ook := r.OverheadVs(p.Oracle)
+				tb.AddRow(c.Name, name, rateCell(p.Algos[a]),
+					floatCell(res, rok, 1), floatCell(mtx, mok, 4), floatCell(ov, ook, 4))
+			}
+		}
+	}
+	return tb.Render() + "\n"
 }
 
 // ShapeLines renders the per-channel shape pin lines — the compact

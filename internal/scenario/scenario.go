@@ -61,6 +61,15 @@ type Scenario struct {
 	// near-uniform bytes (the paper's Table 7 axis).
 	Compress bool `json:"compress,omitempty"`
 
+	// Retrans closes the retransmission loop: detected corruptions and
+	// lost trailers are retransmitted through the re-rolled channel,
+	// misses are accepted corrupt, and the tally reports residual
+	// corrupt bytes per delivered GB plus goodput overhead vs a perfect
+	// oracle.  MaxRetries caps the attempts per packet (default 8; must
+	// not be negative).
+	Retrans    bool `json:"retrans,omitempty"`
+	MaxRetries int  `json:"max_retries,omitempty"`
+
 	// Trials per (file × channel) (default 6).
 	Trials int `json:"trials,omitempty"`
 	// Seed is the root seed; every per-trial fault pattern derives from
@@ -186,6 +195,9 @@ func (s Scenario) Validate() error {
 	if s.Trials < 0 {
 		return fmt.Errorf("scenario: negative trials %d", s.Trials)
 	}
+	if s.MaxRetries < 0 {
+		return fmt.Errorf("scenario: negative max_retries %d", s.MaxRetries)
+	}
 	if s.Workers < 0 {
 		return fmt.Errorf("scenario: negative workers %d", s.Workers)
 	}
@@ -221,6 +233,8 @@ func (s Scenario) Config() (netsim.Config, error) {
 		DatagramSize: s.DatagramSize,
 		MTU:          s.MTU,
 		Compress:     s.Compress,
+		Retrans:      s.Retrans,
+		MaxRetries:   s.MaxRetries,
 		Trials:       s.Trials,
 		Seed:         s.Seed,
 		Channels:     chans,

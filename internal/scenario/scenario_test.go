@@ -82,6 +82,26 @@ func TestLoadGolden(t *testing.T) {
 		}
 	})
 
+	t.Run("retrans", func(t *testing.T) {
+		sc, err := Load("testdata/retrans.json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sc.Retrans || sc.MaxRetries != 4 {
+			t.Errorf("retrans/max_retries = %v/%d did not survive Load", sc.Retrans, sc.MaxRetries)
+		}
+		cfg, err := sc.Config()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cfg.Retrans || cfg.MaxRetries != 4 {
+			t.Errorf("retrans/max_retries = %v/%d did not reach netsim.Config", cfg.Retrans, cfg.MaxRetries)
+		}
+		if len(cfg.Channels) != 3 || cfg.Channels[0].Name != "drop" {
+			t.Errorf("channels = %d entries (want the three drop channels)", len(cfg.Channels))
+		}
+	})
+
 	t.Run("udpfrag", func(t *testing.T) {
 		sc, err := Load("testdata/udpfrag.json")
 		if err != nil {
@@ -118,6 +138,7 @@ func TestParseErrors(t *testing.T) {
 		{"both-sources", `{"profile": "a", "dir": "b"}`, "mutually exclusive"},
 		{"bad-duration", `{"duration": "five minutes"}`, `bad duration "five minutes"`},
 		{"negative-trials", `{"trials": -1}`, "negative trials -1"},
+		{"negative-max-retries", `{"retrans": true, "max_retries": -3}`, "negative max_retries -3"},
 		{"bad-passes", `{"passes": -2}`, "passes -2"},
 	}
 	for _, tc := range cases {

@@ -194,6 +194,9 @@ func (sv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		for _, line := range tally.PlacementLines() {
 			fmt.Fprintf(w, "stream[%d] %s\n", id, line)
 		}
+		for _, line := range tally.RetransLines() {
+			fmt.Fprintf(w, "stream[%d] %s\n", id, line)
+		}
 	}
 }
 
@@ -213,6 +216,10 @@ type StreamStatus struct {
 	// Compress reports whether the stream's payloads pass the LZ stage
 	// before transport encoding.
 	Compress bool `json:"compress,omitempty"`
+	// Retrans reports whether the stream closes the retransmission loop;
+	// MaxRetries is its per-packet retry cap.
+	Retrans    bool `json:"retrans,omitempty"`
+	MaxRetries int  `json:"max_retries,omitempty"`
 }
 
 // Status snapshots every stream for the /status endpoint.
@@ -236,6 +243,10 @@ func (sv *Server) Status() []StreamStatus {
 			Passes:   st.Passes(),
 			Trials:   trials,
 			Compress: st.Scenario.Compress,
+			Retrans:  st.Scenario.Retrans,
+		}
+		if s.Retrans {
+			s.MaxRetries = tally.MaxRetries
 		}
 		if err := st.Err(); err != nil {
 			s.Error = err.Error()

@@ -169,8 +169,13 @@ func (st *Stream) run(ctx context.Context, walker corpus.Walker) error {
 		func(sh *netsim.Shard, idx int, data []byte) { sh.File(idx, data) },
 		func(sh *netsim.Shard) {
 			st.mu.Lock()
-			sh.Flush(st.agg)
+			err := sh.Flush(st.agg)
 			st.mu.Unlock()
+			if err != nil {
+				// Shard and aggregate are both built from st.cfg, so a
+				// shape mismatch here is a program bug, not an input error.
+				panic(err)
+			}
 		},
 	)
 

@@ -52,6 +52,15 @@ grep -q "raw vs lz-compressed payload" "$tmp/netsim.w1" \
     || { echo "netsim report missing the raw-vs-compressed contrast section"; exit 1; }
 grep -q "^shape\[tcp+lz/burst\]" "$tmp/netsim.w1" \
     || { echo "netsim report missing the compressed-pass shape lines"; exit 1; }
+# The raw TCP pass closes the retransmission loop: per-algorithm retrans
+# tables, the residual-vs-miss-rate contrast over the matched-rate drop
+# channels, and the greppable retrans[...] pin lines.
+grep -q "retransmission loop (retry cap 8)" "$tmp/netsim.w1" \
+    || { echo "netsim report missing the retransmission tables"; exit 1; }
+grep -q "residual error vs miss rate, i.i.d. vs correlated loss at matched rate" "$tmp/netsim.w1" \
+    || { echo "netsim report missing the residual-contrast section"; exit 1; }
+grep -q "^retrans\[tcp/drop\]" "$tmp/netsim.w1" \
+    || { echo "netsim report missing the retrans pin lines"; exit 1; }
 
 echo "== netsim -dir corpus walk pin (internal/onescomp, -race) =="
 # A real-directory-tree run over a small stable in-repo tree, with its
@@ -78,6 +87,27 @@ placement[tcp/drop-ge]: seg_corrupted=4 tcp=0 f255=0 crc32=0 header=0 trailer=0
 placement[tcp/drop-burst]: seg_corrupted=1 tcp=0 f255=0 crc32=0 header=0 trailer=0
 placement[tcp/dup]: seg_corrupted=53 tcp=0 f255=0 crc32=0 header=0 trailer=0
 PLACEMENTS
+
+echo "== netsim -retrans pin (internal/onescomp, -race) =="
+# The same walk with the retransmission loop closed.  Two things are
+# pinned: the shape/placement lines must be byte-identical to the
+# open-loop pins above (retry channel rolls come from the RetrySeed
+# sub-stream after all primary RNG use, so -retrans cannot perturb an
+# open-loop counter), and the retrans[...] lines themselves — per
+# channel, the tcp/crc32/oracle transmission counts, residual bytes and
+# cap-exhausted PDUs.
+go run -race ./cmd/netsim -dir internal/onescomp -channels drop,drop-ge,drop-burst,dup -trials 2 -workers 2 -retrans > "$tmp/netsim.ret"
+grep -E "^(shape|placement)" "$tmp/netsim.ret" > "$tmp/netsim.ret.open"
+grep -E "^(shape|placement)" "$tmp/netsim.dir" > "$tmp/netsim.dir.open"
+diff "$tmp/netsim.dir.open" "$tmp/netsim.ret.open" \
+    || { echo "-retrans perturbed the open-loop shape/placement pins"; exit 1; }
+grep "^retrans" "$tmp/netsim.ret" > "$tmp/netsim.ret.lines"
+diff - "$tmp/netsim.ret.lines" <<'RETRANS' || { echo "netsim -retrans pin lines changed"; exit 1; }
+retrans[tcp/drop]: cap=8 pdus=106 tcp_tx=111 tcp_resid=0 crc32_tx=111 crc32_resid=0 oracle_tx=111 exhausted=0
+retrans[tcp/drop-ge]: cap=8 pdus=106 tcp_tx=111 tcp_resid=0 crc32_tx=111 crc32_resid=0 oracle_tx=111 exhausted=0
+retrans[tcp/drop-burst]: cap=8 pdus=106 tcp_tx=109 tcp_resid=0 crc32_tx=109 crc32_resid=0 oracle_tx=109 exhausted=0
+retrans[tcp/dup]: cap=8 pdus=106 tcp_tx=221 tcp_resid=0 crc32_tx=221 crc32_resid=0 oracle_tx=221 exhausted=1
+RETRANS
 
 echo "== netsim -compress pin (internal/onescomp, -race) =="
 # The same walk with the lz payload stage on: the compressed payloads
@@ -112,7 +142,7 @@ echo "== cksumd service smoke (scenario run, metrics scrape, graceful shutdown, 
 # drain and exit 0 under the race detector.
 go build -race -o "$tmp/cksumd" ./cmd/cksumd
 cat > "$tmp/onescomp.scenario.json" <<'EOF'
-{"name":"ci-smoke","dir":"internal/onescomp","channels":["drop","drop-ge","drop-burst","dup"],"trials":2,"workers":2}
+{"name":"ci-smoke","dir":"internal/onescomp","channels":["drop","drop-ge","drop-burst","dup"],"retrans":true,"trials":2,"workers":2}
 EOF
 "$tmp/cksumd" "$tmp/onescomp.scenario.json" > "$tmp/cksumd.log" 2>&1 &
 ckpid=$!
@@ -137,6 +167,15 @@ stream[0] shape[tcp/dup]: corrupted=54 weakest=tcp(0) tcp=0 crc32=0
 SHAPES
 grep -q 'cksumd_trials_total{stream="0",channel="drop"} 4' "$tmp/cksumd.metrics" \
     || { echo "cksumd metrics missing the per-channel trial counter"; kill "$ckpid" 2>/dev/null; exit 1; }
+# The scenario closes the retransmission loop, so the scrape must carry
+# the retrans[...] pin lines — byte-identical to the batch -retrans pins.
+grep '^stream\[0\] retrans' "$tmp/cksumd.metrics" > "$tmp/cksumd.retrans" || true
+diff - "$tmp/cksumd.retrans" <<'RETRANS' || { echo "cksumd scrape retrans lines differ from the batch pins"; kill "$ckpid" 2>/dev/null; exit 1; }
+stream[0] retrans[tcp/drop]: cap=8 pdus=106 tcp_tx=111 tcp_resid=0 crc32_tx=111 crc32_resid=0 oracle_tx=111 exhausted=0
+stream[0] retrans[tcp/drop-ge]: cap=8 pdus=106 tcp_tx=111 tcp_resid=0 crc32_tx=111 crc32_resid=0 oracle_tx=111 exhausted=0
+stream[0] retrans[tcp/drop-burst]: cap=8 pdus=106 tcp_tx=109 tcp_resid=0 crc32_tx=109 crc32_resid=0 oracle_tx=109 exhausted=0
+stream[0] retrans[tcp/dup]: cap=8 pdus=106 tcp_tx=221 tcp_resid=0 crc32_tx=221 crc32_resid=0 oracle_tx=221 exhausted=1
+RETRANS
 kill -INT "$ckpid"
 wait "$ckpid" || { echo "cksumd did not exit 0 after SIGINT"; exit 1; }
 
@@ -147,6 +186,10 @@ go run ./cmd/paper -benchnetsimjson "$tmp/BENCH_netsim.json" -scale 0.02 -benchi
 for f in BENCH_splice.json BENCH_dist.json BENCH_netsim.json; do
     test -s "$tmp/$f" || { echo "missing $f"; exit 1; }
 done
+grep -q '"retrans": true' "$tmp/BENCH_netsim.json" \
+    || { echo "BENCH_netsim.json missing the retransmission-loop records"; exit 1; }
+grep -q '"retrans_mean_tx_per_pdu"' "$tmp/BENCH_netsim.json" \
+    || { echo "BENCH_netsim.json retrans records missing the tcp-lane metrics"; exit 1; }
 
 echo "== benchalgo smoke (every registry algorithm emits a record) =="
 go run ./cmd/paper -benchalgojson "$tmp/BENCH_algo.json" -benchiters 1
