@@ -11,6 +11,7 @@
 //	       [-mode tcp|udpfrag]
 //	       [-channels drop,drop-ge,drop-burst,bitflip,burst,reorder,misinsert,dup]
 //	       [-placement e2e,segment]
+//	       [-algos crc32,crc32c,crc24a]
 //	       [-compress]
 //	       [-retrans] [-maxretries 8]
 //	       [-trials 6] [-seed 0] [-workers N]
@@ -33,6 +34,10 @@
 // encoding, so the injected faults hit near-uniform bytes — the
 // paper's Table 7 axis; the report header then carries the per-file
 // compression-ratio stats and every pin line is relabeled "+lz".
+// -algos restricts the scored battery to the named algorithms; naming a
+// polynomial-census candidate (internal/census) registers the census
+// slate on demand, so 5G-NR and Koopman generators can ride any
+// channel battery without widening the default reports.
 // -retrans closes the retransmission loop: deliveries a checksum lane
 // detects as corrupt (and packets whose trailer never arrives) are
 // retransmitted through the re-rolled channel up to -maxretries
@@ -51,6 +56,7 @@ import (
 	"os/signal"
 	"strings"
 
+	"realsum/internal/census"
 	"realsum/internal/netsim"
 	"realsum/internal/scenario"
 )
@@ -63,6 +69,7 @@ func main() {
 	mode := flag.String("mode", "tcp", "transport encoding: tcp (one packet per PDU) or udpfrag (UDP datagrams + IP fragmentation)")
 	channels := flag.String("channels", "", "comma-separated fault channels (default: all of "+strings.Join(netsim.ChannelNames(), ",")+")")
 	placement := flag.String("placement", "", "comma-separated checksum placements (default: all of "+strings.Join(netsim.PlacementNames(), ",")+"; segment applies to tcp mode only)")
+	algos := flag.String("algos", "", "comma-separated algorithm subset to score (default: the full registry); census candidates ("+strings.Join(census.Keys(), ",")+") are registered on demand when named")
 	compress := flag.Bool("compress", false, "lz-compress each corpus file before transport encoding (the Table 7 axis)")
 	retrans := flag.Bool("retrans", false, "close the retransmission loop: retransmit detected corruptions, accept misses, report residual error and goodput")
 	maxretries := flag.Int("maxretries", 0, "retry cap per packet with -retrans (default 8)")
@@ -103,6 +110,8 @@ func main() {
 			sc.Channels = strings.Split(*channels, ",")
 		case "placement":
 			sc.Placements = strings.Split(*placement, ",")
+		case "algos":
+			sc.Algorithms = strings.Split(*algos, ",")
 		case "compress":
 			sc.Compress = *compress
 		case "retrans":

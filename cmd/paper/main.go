@@ -6,6 +6,8 @@
 //
 //	paper [-scale 1.0] [-run table1,figure2,...] [-workers N] [-seed S] [-progress]
 //	paper -netsim [-scale 1.0] [-workers N] [-seed S]
+//	paper -census [-scale 1.0] [-workers N] [-seed S]
+//	paper -benchcensusjson BENCH_census.json [-scale 0.05]
 //	paper -benchjson BENCH_splice.json [-scale 0.05] [-benchiters 3]
 //	paper -benchdistjson BENCH_dist.json [-scale 0.05] [-benchiters 3]
 //	paper -benchnetsimjson BENCH_netsim.json [-scale 0.05] [-benchiters 3] [-placement e2e,segment]
@@ -37,6 +39,17 @@
 // segment, with a header-vs-trailer position contrast for the TCP sum).
 // The report includes i.i.d.-vs-correlated loss and
 // end-to-end-vs-per-segment placement contrast sections.
+//
+// -census runs the polynomial-selection census (internal/census): the
+// analytic lane computes each CRC candidate's order-of-x, weight-2/3
+// spectrum and uniform-assumption P_ud in gf2poly algebra, the
+// injection lane replays the netsim fault battery over the corpus
+// scoring the whole slate — IEEE, Castagnoli, Koopman's search winners
+// and the 5G NR family — and the report contrasts the two rankings,
+// calling out any inversion explicitly.  (This is distinct from
+// -run census, the byte-value data census of the corpus itself.)
+// -benchcensusjson writes the same run as one JSON record per
+// candidate, carrying both lanes' numbers.
 //
 // -benchjson times the Table 1–3 splice simulations instead of printing
 // tables, writing ns/op, MB/s and allocs/op records that seed the
@@ -77,6 +90,8 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers per pass (default GOMAXPROCS; output is identical at any count)")
 	seed := flag.Uint64("seed", 0, "root seed for every randomized pass: corpus generation, local any-cells sampling, end-to-end loss and netsim trials all derive from it (0 = the historical defaults the committed goldens use)")
 	netsimOnly := flag.Bool("netsim", false, "run only the netsim fault-injection pass (shorthand for -run netsim)")
+	censusOnly := flag.Bool("census", false, "run the polynomial-selection census: analytic uniform-assumption P_ud vs injected miss rate over the measured corpus for the CRC candidate slate (IEEE, Castagnoli, Koopman, 5G NR), then exit")
+	benchcensusjson := flag.String("benchcensusjson", "", "run the polynomial census and write one record per candidate (uniform-lane algebra vs measured-corpus miss rates and ranks) to this file (e.g. BENCH_census.json), then exit")
 	progress := flag.Bool("progress", false, "print live throughput (files, MB, MB/s) to stderr while experiments run")
 	benchjson := flag.String("benchjson", "", "time the Table 1–3 splice simulations and write ns/op, MB/s and allocs/op records to this file (e.g. BENCH_splice.json), then exit")
 	benchdistjson := flag.String("benchdistjson", "", "time the Figure 2–3 / Table 4–5 distribution passes and write records (incl. parallel speedup) to this file (e.g. BENCH_dist.json), then exit")
@@ -101,7 +116,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	if *benchjson != "" || *benchdistjson != "" || *benchnetsimjson != "" || *benchalgojson != "" {
+	if *benchjson != "" || *benchdistjson != "" || *benchnetsimjson != "" || *benchalgojson != "" || *benchcensusjson != "" {
 		if *benchjson != "" {
 			if err := runBenchJSON(ctx, *benchjson, *scale, *benchIters); err != nil {
 				fmt.Fprintf(os.Stderr, "paper: benchjson: %v\n", err)
@@ -130,6 +145,25 @@ func main() {
 				fmt.Fprintf(os.Stderr, "paper: benchalgojson: %v\n", err)
 				os.Exit(1)
 			}
+		}
+		if *benchcensusjson != "" {
+			if err := runBenchCensusJSON(ctx, *benchcensusjson, *scale, *seed); err != nil {
+				fmt.Fprintf(os.Stderr, "paper: benchcensusjson: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	if *censusOnly {
+		var prog *sim.Progress
+		if *progress {
+			prog = &sim.Progress{}
+			defer startProgress(prog)()
+		}
+		if err := runCensus(ctx, *scale, *seed, *workers, prog); err != nil {
+			fmt.Fprintf(os.Stderr, "paper: census: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}

@@ -201,6 +201,15 @@ func newCRCAlgo(p crc.Params) crcAlgo {
 	return crcAlgo{t: crc.New(p), name: name}
 }
 
+// NewCRC wraps arbitrary CRC params as an Algorithm under an explicit
+// registry key, for callers (the polynomial census) that bring their own
+// slate instead of the built-in catalog subset.  The result rides the
+// same kernel verify-then-race table and zero-alloc Sum path as the
+// built-ins; pass it to Register to make it visible to the tools.
+func NewCRC(p crc.Params, name string) Algorithm {
+	return crcAlgo{t: crc.New(p), name: name}
+}
+
 func (c crcAlgo) Name() string           { return c.name }
 func (c crcAlgo) Width() int             { return int(c.t.Params().Width) }
 func (c crcAlgo) Sum(data []byte) uint64 { return c.t.Checksum(data) }

@@ -1,0 +1,55 @@
+package census
+
+import (
+	"testing"
+
+	"realsum/internal/crc"
+)
+
+// FuzzCensusParams fuzzes the generic-width table constructor the
+// census rides: arbitrary Rocksoft parameters must either be rejected
+// with a clean error by crc.TryNew or produce a table whose checksum
+// matches the bit-at-a-time reference — never panic, never diverge.
+func FuzzCensusParams(f *testing.F) {
+	f.Add(uint8(32), uint64(0x04C11DB7), uint64(0xFFFFFFFF), true, true, []byte("123456789"))
+	f.Add(uint8(24), uint64(0x864CFB), uint64(0), false, false, []byte("123456789"))
+	f.Add(uint8(11), uint64(0x621), uint64(0), false, false, []byte{0, 0, 1})
+	f.Add(uint8(64), uint64(0x42F0E1EBA9EA3693), uint64(0), false, false, []byte("@"))
+	f.Add(uint8(0), uint64(1), uint64(0), false, false, []byte{})      // invalid width
+	f.Add(uint8(16), uint64(0x1021), uint64(0), true, false, []byte{}) // RefIn != RefOut
+	f.Add(uint8(8), uint64(0x06), uint64(0), false, false, []byte{7})  // no +1 term
+	f.Fuzz(func(t *testing.T, width uint8, poly, init uint64, refIn, refOut bool, data []byte) {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		p := crc.Params{
+			Name:   "fuzz",
+			Width:  width,
+			Poly:   poly,
+			RefIn:  refIn,
+			RefOut: refOut,
+		}
+		if width >= 1 && width <= 64 {
+			p.Init = init & p.Mask()
+		}
+		tab, err := crc.TryNew(p)
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("TryNew returned an empty error")
+			}
+			return
+		}
+		got := tab.Checksum(data)
+		want := p.BitwiseChecksum(data)
+		if got != want {
+			t.Fatalf("w=%d poly=%#x init=%#x ref=%v/%v len=%d: table %#x != bitwise %#x",
+				width, poly, p.Init, refIn, refOut, len(data), got, want)
+		}
+		if len(data) > 1 {
+			// Unaligned tail: the same table must agree on a sub-slice too.
+			if g, w := tab.Checksum(data[1:]), p.BitwiseChecksum(data[1:]); g != w {
+				t.Fatalf("w=%d poly=%#x sub-slice: table %#x != bitwise %#x", width, poly, g, w)
+			}
+		}
+	})
+}

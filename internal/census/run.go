@@ -1,0 +1,205 @@
+package census
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"realsum/internal/corpus"
+	"realsum/internal/netsim"
+	"realsum/internal/sim"
+)
+
+// Channels names the fault subset the injection lane replays: the
+// splice-forming loss processes (i.i.d., Gilbert-Elliott, geometric
+// burst), bit flips and byte bursts — the data-shaped faults the
+// paper's §7 ranks algorithms under.  Reorder/misinsert/dup are
+// whole-PDU substitutions that every content check scores identically,
+// so they add trials without separating candidates.
+func Channels() []string {
+	return []string{"drop", "drop-ge", "drop-burst", "bitflip", "burst"}
+}
+
+// Config parameterizes one census run.
+type Config struct {
+	// Walker is the corpus the injection lane replays.
+	Walker corpus.Walker
+	// Trials per (file × channel) (netsim default when 0).
+	Trials int
+	// Seed is the netsim root seed.
+	Seed uint64
+	// Workers bounds engine parallelism (default GOMAXPROCS).
+	Workers int
+	// Progress receives per-file throughput updates (may be nil).
+	Progress *sim.Progress
+}
+
+// Row is one candidate's verdict across both lanes.
+type Row struct {
+	Candidate
+	Analysis
+
+	// Injection lane, summed over every census channel's e2e placement.
+	Corrupted  uint64
+	Detected   uint64
+	Undetected uint64
+
+	// MeasuredP is the analytic coverage reweighted by the run's
+	// measured error-class mix.
+	MeasuredP float64
+
+	// Ranks (1 = best, ties share a rank): UniformRank orders by the
+	// uniform-data lane (collision floor, BSC bound as tiebreak),
+	// MeasuredRank by MeasuredP, InjectedRank by empirical miss rate.
+	UniformRank  int
+	MeasuredRank int
+	InjectedRank int
+}
+
+// MissRate is the injected miss rate; ok is false if no corrupted
+// delivery was scored.
+func (r Row) MissRate() (float64, bool) {
+	n := r.Detected + r.Undetected
+	if n == 0 {
+		return 0, false
+	}
+	return float64(r.Undetected) / float64(n), true
+}
+
+// Result is a complete census: per-candidate rows, the run's measured
+// error mix, and the underlying netsim tally.
+type Result struct {
+	Rows []Row
+	Mix  netsim.ErrClassTally
+	// Tally is the injection run's full netsim output.
+	Tally *netsim.Tally
+	// Inversions lists the uniform-vs-measured-corpus ranking flips:
+	// candidate pairs the uniform lane orders one way and the injected
+	// (or measured-mix) lane orders the other, strictly.  Empty means
+	// the uniform ranking survived contact with the corpus.
+	Inversions []string
+}
+
+// Run executes the census: one netsim pass scoring every slate
+// candidate simultaneously over the census channel battery, then the
+// analytic lane and the rank comparison.  The candidate algorithms are
+// passed to the engine explicitly, so the global registry (and every
+// default-battery report pinned on it) is untouched.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	specs, unknown := netsim.ChannelsByName(Channels())
+	if len(unknown) > 0 {
+		return nil, fmt.Errorf("census: unknown channels %v", unknown)
+	}
+	tally, err := netsim.Run(ctx, cfg.Walker, netsim.Config{
+		Channels:   specs,
+		Placements: []netsim.Placement{netsim.PlaceE2E},
+		Algorithms: Algorithms(),
+		Trials:     cfg.Trials,
+		Seed:       cfg.Seed,
+		Workers:    cfg.Workers,
+		Progress:   cfg.Progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return Score(tally), nil
+}
+
+// Score assembles a Result from an injection tally: the analytic lane
+// per candidate, the per-candidate miss counts summed over the tally's
+// channels (e2e placement), the measured-mix reweighting, and the
+// three rankings.  Split from Run so tests can score a hand-built
+// tally.
+func Score(tally *netsim.Tally) *Result {
+	mix := tally.ErrClasses()
+	slate := Slate()
+	rows := make([]Row, len(slate))
+	for i, c := range slate {
+		r := Row{Candidate: c, Analysis: Analyze(c.Params)}
+		for ci := range tally.Channels {
+			p := tally.Channels[ci].Placement(netsim.PlaceE2E.String())
+			if p == nil {
+				continue
+			}
+			if a, ok := p.Algo(c.Key); ok {
+				r.Corrupted += p.Corrupted
+				r.Detected += a.Detected
+				r.Undetected += a.Undetected
+			}
+		}
+		r.MeasuredP = r.Analysis.MeasuredP(mix)
+		rows[i] = r
+	}
+	assignRanks(rows)
+	res := &Result{Rows: rows, Mix: mix, Tally: tally}
+	res.Inversions = inversions(rows)
+	return res
+}
+
+// rankBy assigns competition ranks (1 = best, ties share) using a
+// strict better-than relation.
+func rankBy(rows []Row, better func(a, b Row) bool, set func(r *Row, rank int)) {
+	for i := range rows {
+		rank := 1
+		for j := range rows {
+			if j != i && better(rows[j], rows[i]) {
+				rank++
+			}
+		}
+		set(&rows[i], rank)
+	}
+}
+
+func assignRanks(rows []Row) {
+	rankBy(rows, func(a, b Row) bool {
+		if a.UniformP != b.UniformP {
+			return a.UniformP < b.UniformP
+		}
+		return a.BSCP < b.BSCP
+	}, func(r *Row, rank int) { r.UniformRank = rank })
+	rankBy(rows, func(a, b Row) bool {
+		return a.MeasuredP < b.MeasuredP
+	}, func(r *Row, rank int) { r.MeasuredRank = rank })
+	rankBy(rows, func(a, b Row) bool {
+		ar, aok := a.MissRate()
+		br, bok := b.MissRate()
+		return aok && bok && ar < br
+	}, func(r *Row, rank int) { r.InjectedRank = rank })
+}
+
+// inversions lists every candidate pair whose uniform-lane order is
+// strictly contradicted by a corpus lane, most extreme rank gap first.
+func inversions(rows []Row) []string {
+	type inv struct {
+		text string
+		gap  int
+	}
+	var out []inv
+	for i := range rows {
+		for j := range rows {
+			if rows[i].UniformRank >= rows[j].UniformRank {
+				continue // i not strictly better on uniform
+			}
+			if rows[i].InjectedRank > rows[j].InjectedRank {
+				gap := rows[i].InjectedRank - rows[j].InjectedRank
+				out = append(out, inv{fmt.Sprintf(
+					"%s>%s on uniform (rank %d vs %d) but %s>%s injected (rank %d vs %d)",
+					rows[i].Key, rows[j].Key, rows[i].UniformRank, rows[j].UniformRank,
+					rows[j].Key, rows[i].Key, rows[j].InjectedRank, rows[i].InjectedRank), gap})
+			}
+			if rows[i].MeasuredRank > rows[j].MeasuredRank {
+				gap := rows[i].MeasuredRank - rows[j].MeasuredRank
+				out = append(out, inv{fmt.Sprintf(
+					"%s>%s on uniform (rank %d vs %d) but %s>%s on measured mix (rank %d vs %d)",
+					rows[i].Key, rows[j].Key, rows[i].UniformRank, rows[j].UniformRank,
+					rows[j].Key, rows[i].Key, rows[j].MeasuredRank, rows[i].MeasuredRank), gap})
+			}
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].gap > out[b].gap })
+	texts := make([]string, len(out))
+	for i, o := range out {
+		texts[i] = o.text
+	}
+	return texts
+}

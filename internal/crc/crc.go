@@ -168,6 +168,25 @@ func New(p Params) *Table {
 	return t
 }
 
+// TryNew is New with errors instead of panics, for callers (census
+// candidate slates, fuzzers) that construct tables from untrusted or
+// generated Params.
+func TryNew(p Params) (t *Table, err error) {
+	if p.Width < 1 || p.Width > 64 {
+		return nil, fmt.Errorf("crc: invalid width %d for %q", p.Width, p.Name)
+	}
+	if p.RefIn != p.RefOut {
+		return nil, fmt.Errorf("crc: %q mixes RefIn and RefOut; unsupported", p.Name)
+	}
+	if p.Poly&^p.Mask() != 0 {
+		return nil, fmt.Errorf("crc: %q poly %#x exceeds width %d", p.Name, p.Poly, p.Width)
+	}
+	if p.Poly&1 == 0 {
+		return nil, fmt.Errorf("crc: %q poly %#x has no +1 term; register bits would be unreachable", p.Name, p.Poly)
+	}
+	return New(p), nil
+}
+
 // Params returns the algorithm description the table was built from.
 func (t *Table) Params() Params { return t.params }
 

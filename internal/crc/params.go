@@ -80,12 +80,79 @@ var (
 		Init: 0xFFFFFFFFFFFFFFFF, RefIn: true, RefOut: true,
 		XorOut: 0xFFFFFFFFFFFFFFFF, Check: 0x995DC9BBDF1939FA,
 	}
+
+	// The 5G NR polynomials (3GPP TS 38.212 §5.1, discussed in "Some
+	// comments about CRC selection for the 5G NR specification").  All
+	// are MSB-first, zero preset, zero XorOut — the raw algebraic CRC.
+
+	// CRC24A attaches to NR transport blocks (also LTE; RevEng
+	// CRC-24/LTE-A).  gCRC24A(D) = D^24+D^23+D^18+D^17+D^14+D^11+D^10+
+	// D^7+D^6+D^5+D^4+D^3+D+1.
+	CRC24A = Params{
+		Name: "CRC-24/A", Width: 24, Poly: 0x864CFB,
+		Init: 0, RefIn: false, RefOut: false, XorOut: 0,
+		Check: 0xCDE703,
+	}
+
+	// CRC24B attaches to NR code-block segments (RevEng CRC-24/LTE-B).
+	// gCRC24B(D) = D^24+D^23+D^6+D^5+D+1.
+	CRC24B = Params{
+		Name: "CRC-24/B", Width: 24, Poly: 0x800063,
+		Init: 0, RefIn: false, RefOut: false, XorOut: 0,
+		Check: 0x23EF52,
+	}
+
+	// CRC24C is the NR addition for polar-coded downlink control —
+	// chosen for distance-4 at control-channel lengths.  gCRC24C(D) =
+	// D^24+D^23+D^21+D^20+D^17+D^15+D^13+D^12+D^8+D^4+D^2+D+1.
+	CRC24C = Params{
+		Name: "CRC-24/C", Width: 24, Poly: 0xB2B117,
+		Init: 0, RefIn: false, RefOut: false, XorOut: 0,
+		Check: 0xF48279,
+	}
+
+	// CRC11NR protects NR uplink control information (polar-coded
+	// PUCCH).  gCRC11(D) = D^11+D^10+D^9+D^5+1.
+	CRC11NR = Params{
+		Name: "CRC-11/NR", Width: 11, Poly: 0x621,
+		Init: 0, RefIn: false, RefOut: false, XorOut: 0,
+		Check: 0x5CA,
+	}
+
+	// CRC6NR is the short NR uplink-control CRC.  gCRC6(D) = D^6+D^5+1.
+	CRC6NR = Params{
+		Name: "CRC-6/NR", Width: 6, Poly: 0x21,
+		Init: 0, RefIn: false, RefOut: false, XorOut: 0,
+		Check: 0x15,
+	}
+
+	// CRC32K is Koopman's CRC-32K (normal form 0x741B8CD7), selected by
+	// exhaustive search for HD=6 payloads an order of magnitude longer
+	// than IEEE CRC-32 allows; run with the familiar reflected
+	// 0xFFFFFFFF preset/XorOut convention so it drops into the same
+	// framing as CRC-32.
+	CRC32K = Params{
+		Name: "CRC-32K", Width: 32, Poly: 0x741B8CD7,
+		Init: 0xFFFFFFFF, RefIn: true, RefOut: true, XorOut: 0xFFFFFFFF,
+		Check: 0x2D3DD0AE,
+	}
+
+	// CRC32K2 is Koopman's CRC-32K/2 (normal form 0x32583499), the
+	// HD=4-to-long-lengths alternative from the same search family.
+	CRC32K2 = Params{
+		Name: "CRC-32K2", Width: 32, Poly: 0x32583499,
+		Init: 0xFFFFFFFF, RefIn: true, RefOut: true, XorOut: 0xFFFFFFFF,
+		Check: 0xEEB754CC,
+	}
 )
 
 // Catalog lists every registered algorithm, for table-driven tests and
 // the command-line tools.
 func Catalog() []Params {
-	return []Params{CRC32, CRC32C, CRC10, CRC16, CRC16CCITT, CRC16XMODEM, CRC8HEC, CRC8, CRC64}
+	return []Params{
+		CRC32, CRC32C, CRC10, CRC16, CRC16CCITT, CRC16XMODEM, CRC8HEC, CRC8, CRC64,
+		CRC24A, CRC24B, CRC24C, CRC11NR, CRC6NR, CRC32K, CRC32K2,
+	}
 }
 
 // ByName returns the catalogued Params with the given name and whether

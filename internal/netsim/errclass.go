@@ -1,0 +1,103 @@
+package netsim
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// ErrClassTally histograms the *structure* of the corrupted end-to-end
+// deliveries one channel produced: the XOR difference between the
+// received candidate and the sent PDU it claims to be, bucketed the way
+// CRC algebra buckets error polynomials — by Hamming weight for sparse
+// flips, by bit span for bursts.  This is the measured error
+// distribution of the run: the polynomial census weights each
+// candidate generator's analytic per-class coverage (A2/A3 spectra,
+// burst fractions, collision floor) by these frequencies to get a
+// corpus-shaped P_ud instead of the uniform assumption.
+//
+// Classification is a pure function of (received, sent) — no RNG, no
+// allocation — so the engine's worker-count byte-identity and
+// zero-steady-state-allocation contracts are untouched.
+type ErrClassTally struct {
+	// LenChange counts deliveries whose byte length differs from the
+	// sent PDU — splices and concatenations, where bit-position algebra
+	// does not apply directly.
+	LenChange uint64
+	// Weight1..Weight3 count equal-length deliveries whose XOR
+	// difference has Hamming weight exactly 1, 2 or 3.
+	Weight1 uint64
+	Weight2 uint64
+	Weight3 uint64
+	// Burst counts equal-length deliveries of weight ≥ 4 whose differing
+	// bits all fall within a 64-bit span — the cell- and byte-burst
+	// regime every CRC of width ≥ the span detects unconditionally.
+	Burst uint64
+	// Multi counts everything else: heavy, spread-out damage
+	// (multi-burst, whole-cell substitution at equal length).
+	Multi uint64
+}
+
+// note classifies one corrupted delivery.  recv and sent are the
+// received candidate and the claimed sent PDU; callers only invoke it
+// when the two differ.
+func (e *ErrClassTally) note(recv, sent []byte) {
+	if len(recv) != len(sent) {
+		e.LenChange++
+		return
+	}
+	first, last := -1, -1
+	weight := 0
+	for i := range recv {
+		d := recv[i] ^ sent[i]
+		if d == 0 {
+			continue
+		}
+		if first < 0 {
+			first = i*8 + bits.LeadingZeros8(d)
+		}
+		last = i*8 + 7 - bits.TrailingZeros8(d)
+		weight += bits.OnesCount8(d)
+	}
+	switch {
+	case weight == 1:
+		e.Weight1++
+	case weight == 2:
+		e.Weight2++
+	case weight == 3:
+		e.Weight3++
+	case last-first+1 <= 64:
+		e.Burst++
+	default:
+		e.Multi++
+	}
+}
+
+func (e *ErrClassTally) merge(o *ErrClassTally) {
+	e.LenChange += o.LenChange
+	e.Weight1 += o.Weight1
+	e.Weight2 += o.Weight2
+	e.Weight3 += o.Weight3
+	e.Burst += o.Burst
+	e.Multi += o.Multi
+}
+
+// Total is the number of corrupted deliveries classified.
+func (e ErrClassTally) Total() uint64 {
+	return e.LenChange + e.Weight1 + e.Weight2 + e.Weight3 + e.Burst + e.Multi
+}
+
+// Line renders the histogram as a greppable pin line fragment.
+func (e ErrClassTally) Line() string {
+	return fmt.Sprintf("len=%d w1=%d w2=%d w3=%d burst=%d multi=%d",
+		e.LenChange, e.Weight1, e.Weight2, e.Weight3, e.Burst, e.Multi)
+}
+
+// ErrClasses sums the per-channel error-structure histograms — the
+// measured error mix of the whole run.
+func (t *Tally) ErrClasses() ErrClassTally {
+	var sum ErrClassTally
+	for i := range t.Channels {
+		sum.merge(&t.Channels[i].ErrClass)
+	}
+	return sum
+}

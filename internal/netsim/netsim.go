@@ -557,6 +557,7 @@ func (w *worker) score(ct *ChannelTally, origin int, cells []atm.Cell) {
 		ct.Intact++
 	} else {
 		ct.Corrupted++
+		ct.ErrClass.note(w.pdu, sent)
 	}
 	if w.e2eIdx >= 0 {
 		pt := &ct.Placements[w.e2eIdx]

@@ -273,6 +273,11 @@ type ChannelTally struct {
 	Corrupted     uint64 // delivered differing from the claimed PDU
 	Lost          uint64 // packets whose trailer never arrived
 
+	// ErrClass histograms the XOR structure of the corrupted deliveries
+	// (see errclass.go) — the measured error distribution the polynomial
+	// census weighs its analytic coverage by.
+	ErrClass ErrClassTally
+
 	Placements []PlacementTally
 	Pipeline   PipelineTally
 }
@@ -287,6 +292,7 @@ func (c *ChannelTally) merge(o *ChannelTally) {
 	c.Intact += o.Intact
 	c.Corrupted += o.Corrupted
 	c.Lost += o.Lost
+	c.ErrClass.merge(&o.ErrClass)
 	for i := range c.Placements {
 		c.Placements[i].merge(&o.Placements[i])
 	}

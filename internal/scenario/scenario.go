@@ -23,9 +23,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
+	"realsum/internal/algo"
+	"realsum/internal/census"
 	"realsum/internal/corpus"
 	"realsum/internal/netsim"
 	"realsum/internal/sim"
@@ -55,6 +58,12 @@ type Scenario struct {
 	// Placements is the checksum-placement subset (default: every
 	// placement; "segment" applies to tcp mode only).
 	Placements []string `json:"placements,omitempty"`
+	// Algorithms restricts the scored battery to these registry names
+	// (default: every registered algorithm).  Census-gated candidates
+	// (census.Keys) are accepted too; naming one registers the census
+	// slate when the scenario builds its Config, so the default battery
+	// is only ever widened on explicit request.
+	Algorithms []string `json:"algorithms,omitempty"`
 
 	// Compress enables the LZ payload stage: corpus files are
 	// lz-compressed before transport encoding, so the faults hit
@@ -186,6 +195,9 @@ func (s Scenario) Validate() error {
 	if _, err := placements(s.Placements); err != nil {
 		return err
 	}
+	if err := checkAlgorithms(s.Algorithms); err != nil {
+		return err
+	}
 	if s.Profile != "" && s.Dir != "" {
 		return fmt.Errorf("scenario: profile %q and dir %q are mutually exclusive", s.Profile, s.Dir)
 	}
@@ -227,6 +239,10 @@ func (s Scenario) Config() (netsim.Config, error) {
 	mode, _ := ParseMode(s.Mode)
 	chans, _ := channelSpecs(s.Channels)
 	pls, _ := placements(s.Placements)
+	algs, err := resolveAlgorithms(s.Algorithms)
+	if err != nil {
+		return netsim.Config{}, err
+	}
 	return netsim.Config{
 		Mode:         mode,
 		SegmentSize:  s.SegmentSize,
@@ -239,6 +255,7 @@ func (s Scenario) Config() (netsim.Config, error) {
 		Seed:         s.Seed,
 		Channels:     chans,
 		Placements:   pls,
+		Algorithms:   algs,
 		Workers:      s.Workers,
 	}, nil
 }
@@ -301,6 +318,57 @@ func channelSpecs(names []string) ([]netsim.ChannelSpec, error) {
 			unknown, strings.Join(netsim.ChannelNames(), ","))
 	}
 	return specs, nil
+}
+
+// checkAlgorithms validates an algorithm-name subset without touching
+// the registry: every name must already be registered or be a
+// census-gated candidate (published by resolveAlgorithms when the
+// scenario builds its Config).  Unknown names error sorted, duplicates
+// error too — netsim tallies are keyed by name, so a repeat would
+// shadow its twin's counts.
+func checkAlgorithms(names []string) error {
+	seen := make(map[string]bool, len(names))
+	var unknown []string
+	for _, n := range names {
+		if seen[n] {
+			return fmt.Errorf("scenario: duplicate algorithm %q", n)
+		}
+		seen[n] = true
+		if _, ok := algo.Lookup(n); ok {
+			continue
+		}
+		if _, ok := census.ByKey(n); ok {
+			continue
+		}
+		unknown = append(unknown, n)
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return fmt.Errorf("scenario: unknown algorithms %v (want registry names %s, or census candidates %s)",
+			unknown, strings.Join(algo.Names(), ","), strings.Join(census.Keys(), ","))
+	}
+	return nil
+}
+
+// resolveAlgorithms turns a validated name list into engine instances
+// (nil/empty = nil, netsim's full-registry default).  Census-gated
+// names trigger the slate registration here — the one EnsureFor hook
+// every scenario consumer (cmd/netsim, cmd/paper, cksumd streams)
+// funnels through.
+func resolveAlgorithms(names []string) ([]algo.Algorithm, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	census.EnsureFor(names)
+	out := make([]algo.Algorithm, 0, len(names))
+	for _, n := range names {
+		a, ok := algo.Lookup(n)
+		if !ok {
+			return nil, fmt.Errorf("scenario: algorithm %q vanished after registration", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
 }
 
 // placements resolves a placement-name list (nil/empty = the full

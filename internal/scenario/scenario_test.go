@@ -5,8 +5,35 @@ import (
 	"testing"
 	"time"
 
+	"realsum/internal/algo"
 	"realsum/internal/netsim"
 )
+
+// TestAlgorithmsGating runs first (Go test order is source order): a
+// census-gated name must pass Validate without touching the registry —
+// registration happens only when a Config is actually built — so merely
+// parsing a profile can never widen the default battery.  It must also
+// be in this file above TestLoadGolden, whose census-battery golden
+// builds a Config and registers the slate for the rest of the binary.
+func TestAlgorithmsGating(t *testing.T) {
+	sc := Scenario{Profile: "smeg.stanford.edu:/u1", Algorithms: []string{"crc24a", "crc32"}}
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("Validate rejected a census candidate: %v", err)
+	}
+	if _, ok := algo.Lookup("crc24a"); ok {
+		t.Fatal("Validate registered the census slate; only Config may")
+	}
+	cfg, err := sc.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := algo.Lookup("crc24a"); !ok {
+		t.Fatal("Config did not register the census slate for a census name")
+	}
+	if len(cfg.Algorithms) != 2 || cfg.Algorithms[0].Name() != "crc24a" {
+		t.Errorf("Config algorithms = %d entries, first %q", len(cfg.Algorithms), cfg.Algorithms[0].Name())
+	}
+}
 
 // TestLoadGolden pins the parse → validate → Config pipeline over the
 // checked-in profile files: every declarative field must land in the
@@ -102,6 +129,30 @@ func TestLoadGolden(t *testing.T) {
 		}
 	})
 
+	t.Run("census-battery", func(t *testing.T) {
+		sc, err := Load("testdata/census-battery.json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sc.Algorithms) != 3 {
+			t.Fatalf("algorithms = %v did not survive Load", sc.Algorithms)
+		}
+		cfg, err := sc.Config()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cfg.Algorithms) != 3 {
+			t.Fatalf("Config built %d algorithms, want 3", len(cfg.Algorithms))
+		}
+		// Request order is preserved — the tally's per-algorithm columns
+		// follow the scenario, not the registry.
+		for i, want := range []string{"crc32", "crc24a", "crc6"} {
+			if got := cfg.Algorithms[i].Name(); got != want {
+				t.Errorf("algorithms[%d] = %q, want %q", i, got, want)
+			}
+		}
+	})
+
 	t.Run("udpfrag", func(t *testing.T) {
 		sc, err := Load("testdata/udpfrag.json")
 		if err != nil {
@@ -134,6 +185,10 @@ func TestParseErrors(t *testing.T) {
 		{"unknown-placement", `{"placements": ["middle"]}`,
 			"unknown placements [middle] (want a subset of e2e,segment)"},
 		{"unknown-mode", `{"mode": "sctp"}`, `unknown mode "sctp" (want tcp or udpfrag)`},
+		{"unknown-algorithms-sorted", `{"algorithms": ["zz", "crc32", "aa"]}`,
+			"unknown algorithms [aa zz]"},
+		{"duplicate-algorithm", `{"algorithms": ["crc32", "crc32"]}`,
+			`duplicate algorithm "crc32"`},
 		{"unknown-field", `{"profil": "x"}`, `unknown field "profil"`},
 		{"both-sources", `{"profile": "a", "dir": "b"}`, "mutually exclusive"},
 		{"bad-duration", `{"duration": "five minutes"}`, `bad duration "five minutes"`},

@@ -201,4 +201,43 @@ done
 grep -q '"kernel_speedup_vs_slicing8"' "$tmp/BENCH_algo.json" \
     || { echo "BENCH_algo.json missing the kernel-speedup baseline"; exit 1; }
 
+echo "== census smoke (polynomial-selection census, workers 1 vs 4 determinism, -race) =="
+# The census report — both lanes, ranks and the inversion verdict — must
+# be byte-identical at any worker count, and its greppable census[...]
+# lines are pinned: any drift in the gf2poly spectrum math, the
+# generic-width CRC tables, the error-class mix or the injection seed
+# chain shows up as a diff here.
+go run -race ./cmd/paper -census -scale 0.02 -workers 1 > "$tmp/census.w1"
+go run -race ./cmd/paper -census -scale 0.02 -workers 4 > "$tmp/census.w4"
+diff "$tmp/census.w1" "$tmp/census.w4" || { echo "census output differs across worker counts"; exit 1; }
+grep "^census\[" "$tmp/census.w1" > "$tmp/census.pins"
+diff - "$tmp/census.pins" <<'CENSUS' || { echo "census pin lines changed"; exit 1; }
+census[mix]: total=1760 len=295 w1=0 w2=639 w3=0 burst=631 multi=195
+census[crc32]: w=32 a2=0 a3=0 ord=0 uniform=2.33e-10 bsc=0 measured=1.48e-10 miss=0/1760 ranks=1/1/1
+census[crc32c]: w=32 a2=0 a3=0 ord=0 uniform=2.33e-10 bsc=0 measured=1.48e-10 miss=0/1760 ranks=1/1/1
+census[crc32k]: w=32 a2=0 a3=0 ord=114695 uniform=2.33e-10 bsc=0 measured=1.48e-10 miss=0/1760 ranks=1/1/1
+census[crc32k2]: w=32 a2=0 a3=0 ord=65538 uniform=2.33e-10 bsc=0 measured=1.48e-10 miss=0/1760 ranks=1/1/1
+census[crc24a]: w=24 a2=0 a3=0 ord=8388607 uniform=5.96e-08 bsc=0 measured=3.8e-08 miss=0/1760 ranks=5/5/1
+census[crc24b]: w=24 a2=0 a3=0 ord=8388607 uniform=5.96e-08 bsc=0 measured=3.8e-08 miss=0/1760 ranks=5/5/1
+census[crc24c]: w=24 a2=0 a3=0 ord=28086 uniform=5.96e-08 bsc=0 measured=3.8e-08 miss=0/1760 ranks=5/5/1
+census[crc16-xmodem]: w=16 a2=0 a3=0 ord=32767 uniform=1.53e-05 bsc=0 measured=9.72e-06 miss=0/1760 ranks=8/8/1
+census[crc11]: w=11 a2=1 a3=699050 ord=2047 uniform=0.000488 bsc=5.78e-07 measured=0.000311 miss=0/1760 ranks=9/9/1
+census[crc6]: w=6 a2=32272 a3=22363729 ord=63 uniform=0.0156 bsc=0.000281 measured=0.0155 miss=9/1760 ranks=10/10/10
+census[inversion]: none - the uniform-assumption ranking survived the measured corpus distributions
+CENSUS
+
+echo "== benchcensus smoke (one record per candidate, both lanes) =="
+go run ./cmd/paper -benchcensusjson "$tmp/BENCH_census.json" -scale 0.02
+test -s "$tmp/BENCH_census.json" || { echo "missing BENCH_census.json"; exit 1; }
+[ "$(grep -c '"name": "census_' "$tmp/BENCH_census.json")" -eq 10 ] \
+    || { echo "BENCH_census.json must carry one record per slate candidate"; exit 1; }
+for k in crc32 crc32c crc32k crc32k2 crc24a crc24b crc24c crc16-xmodem crc11 crc6; do
+    grep -q "\"name\": \"census_$k\"" "$tmp/BENCH_census.json" \
+        || { echo "BENCH_census.json missing candidate $k"; exit 1; }
+done
+for field in uniform_p bsc_p measured_p miss_rate rank_uniform rank_injected inversions; do
+    grep -q "\"$field\"" "$tmp/BENCH_census.json" \
+        || { echo "BENCH_census.json records missing the $field field"; exit 1; }
+done
+
 echo "CI OK"
